@@ -1,0 +1,178 @@
+// Root benchmark harness: one testing.B benchmark per figure/table of the
+// paper (DESIGN.md §4 experiment index). Each benchmark executes the same
+// experiment function that cmd/benchtables uses to regenerate the artifact,
+// reports its headline metric via b.ReportMetric, and logs the full table
+// under -v.
+//
+// Regenerate all artifacts as text/CSV with:
+//
+//	go run ./cmd/benchtables -outdir results
+package antireplay_test
+
+import (
+	"strconv"
+	"testing"
+
+	"antireplay/internal/experiments"
+)
+
+// runTable executes an experiment once per iteration, logging the rendered
+// table on the first iteration.
+func runTable(b *testing.B, run func() (*experiments.Table, error)) *experiments.Table {
+	b.Helper()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tbl
+	}
+	b.StopTimer()
+	if last != nil {
+		b.Log("\n" + last.String())
+	}
+	return last
+}
+
+// colValue returns the named column of the last row as a float.
+func colValue(b *testing.B, tbl *experiments.Table, name string) float64 {
+	b.Helper()
+	for i, c := range tbl.Columns {
+		if c != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][i], 64)
+		if err != nil {
+			b.Fatalf("parse %s: %v", name, err)
+		}
+		return v
+	}
+	b.Fatalf("no column %q", name)
+	return 0
+}
+
+// BenchmarkFig1SenderReset regenerates Figure 1: sequence numbers lost to a
+// sender reset across the save cycle, bounded by 2Kp.
+func BenchmarkFig1SenderReset(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.Fig1SenderReset(experiments.DefaultFig1Config())
+	})
+	b.ReportMetric(colValue(b, tbl, "lost"), "lost-seqs")
+	b.ReportMetric(colValue(b, tbl, "bound_2K"), "bound")
+}
+
+// BenchmarkFig2ReceiverReset regenerates Figure 2: fresh messages
+// sacrificed to a receiver reset, bounded by 2Kq, with zero duplicate
+// deliveries under full-history replay.
+func BenchmarkFig2ReceiverReset(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.Fig2ReceiverReset(experiments.DefaultFig2Config())
+	})
+	b.ReportMetric(colValue(b, tbl, "sacrificed"), "sacrificed")
+	b.ReportMetric(colValue(b, tbl, "dup_delivered"), "dups")
+}
+
+// BenchmarkTableUnbounded regenerates the §3 comparison: baseline damage
+// grows linearly with pre-reset traffic; the resilient protocol stays flat.
+func BenchmarkTableUnbounded(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		cfg := experiments.DefaultUnboundedConfig()
+		cfg.Traffic = []uint64{500, 1000, 2000}
+		return experiments.UnboundedBaseline(cfg)
+	})
+	// Last row is the resilient protocol at the largest x: flat damage.
+	b.ReportMetric(colValue(b, tbl, "replays_delivered_again"), "resilient-dups")
+}
+
+// BenchmarkTableSaveInterval regenerates the §4 sizing example
+// (K = ceil(T_save/T_send)) with this machine's measured costs.
+func BenchmarkTableSaveInterval(b *testing.B) {
+	cfg := experiments.DefaultSizingConfig()
+	cfg.Samples = 50
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.SaveIntervalSizing(cfg)
+	})
+	b.ReportMetric(colValue(b, tbl, "K"), "K-file-fsync")
+}
+
+// BenchmarkTableConvergenceSender regenerates §5 condition (i) across K.
+func BenchmarkTableConvergenceSender(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.ConvergenceSender(experiments.DefaultConvergenceConfig())
+	})
+	b.ReportMetric(colValue(b, tbl, "lost"), "lost-at-K400")
+}
+
+// BenchmarkTableConvergenceReceiver regenerates §5 condition (ii) across K.
+func BenchmarkTableConvergenceReceiver(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.ConvergenceReceiver(experiments.DefaultConvergenceConfig())
+	})
+	b.ReportMetric(colValue(b, tbl, "sacrificed"), "sacrificed-at-K400")
+}
+
+// BenchmarkTableRecoveryCost regenerates the §3 recovery comparison (IKE
+// renegotiation vs SAVE/FETCH). Uses the small DH group per iteration to
+// keep bench time sane; run cmd/benchtables for the full 2048-bit numbers.
+func BenchmarkTableRecoveryCost(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.RecoveryCost(experiments.RecoveryConfig{
+			SACounts: []int{1, 4, 16}, FastDH: true, Seed: 1,
+		})
+	})
+	b.ReportMetric(colValue(b, tbl, "ike_ms"), "ike-ms-16sas")
+	b.ReportMetric(colValue(b, tbl, "savefetch_ms"), "sf-ms-16sas")
+}
+
+// BenchmarkTableProlongedReset regenerates the §6 DPD/hold-time sweep.
+func BenchmarkTableProlongedReset(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) {
+		return experiments.ProlongedReset(experiments.DefaultProlongedConfig())
+	})
+}
+
+// BenchmarkTableDoubleReset regenerates the §4 second-consideration
+// experiment (paper vs unsafe ablation).
+func BenchmarkTableDoubleReset(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) {
+		return experiments.DoubleReset(experiments.DefaultDoubleResetConfig())
+	})
+}
+
+// BenchmarkTableLeapAblation regenerates the leap-factor ablation (why 2K).
+func BenchmarkTableLeapAblation(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) {
+		return experiments.LeapAblation(experiments.DefaultLeapConfig())
+	})
+}
+
+// BenchmarkTableDelivery regenerates the §2 w-Delivery / Discrimination
+// verification under link impairments.
+func BenchmarkTableDelivery(b *testing.B) {
+	cfg := experiments.DefaultDeliveryConfig()
+	cfg.Messages = 3000
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.Delivery(cfg)
+	})
+	b.ReportMetric(colValue(b, tbl, "dupes_delivered"), "dups")
+}
+
+// BenchmarkTableSaveOverhead regenerates the SAVE-overhead table
+// (ns/message vs K).
+func BenchmarkTableSaveOverhead(b *testing.B) {
+	cfg := experiments.OverheadConfig{Messages: 50000, Ks: []uint64{0, 1, 25, 1000}}
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.SaveOverhead(cfg)
+	})
+	b.ReportMetric(colValue(b, tbl, "ns_per_msg"), "ns-per-msg-K1000")
+}
+
+// BenchmarkTableHorizon regenerates the analysis-gap table (E13): the
+// paper's receiver duplicates a loss-jumped message once the jump exceeds
+// the leap; the strict-horizon variant never does.
+func BenchmarkTableHorizon(b *testing.B) {
+	runTable(b, func() (*experiments.Table, error) {
+		return experiments.LossJumpHorizon(experiments.DefaultHorizonConfig())
+	})
+}

@@ -1,0 +1,98 @@
+// Command benchtables regenerates every figure and table of the paper's
+// analysis (see DESIGN.md §4 for the experiment index) and writes them as
+// aligned text and CSV.
+//
+// Usage:
+//
+//	benchtables [-only id[,id...]] [-fast] [-outdir dir]
+//
+// Without -outdir the tables print to stdout only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"antireplay/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	fast := flag.Bool("fast", false, "cheaper parameterizations (same shapes)")
+	outdir := flag.String("outdir", "", "also write <id>.txt and <id>.csv here")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-14s %s\n", r.ID, r.Paper)
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if *only != "" {
+		var sel []experiments.Runner
+		for _, id := range strings.Split(*only, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			sel = append(sel, r)
+		}
+		runners = sel
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, r := range runners {
+		fmt.Printf("# %s — %s\n", r.ID, r.Paper)
+		tbl, err := r.Run(*fast)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", r.ID, err)
+			failed = true
+		}
+		fmt.Println()
+		if *outdir != "" {
+			if err := writeTable(tbl, *outdir); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", r.ID, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeTable(tbl *experiments.Table, dir string) error {
+	txt, err := os.Create(filepath.Join(dir, tbl.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := tbl.Render(txt); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	return tbl.RenderCSV(csv)
+}

@@ -1,0 +1,107 @@
+// Command resetsim runs one simulated sender→receiver flow with configurable
+// impairments, reset schedule, and adversary, and prints the outcome
+// accounting. It is the interactive companion to the fixed experiment suite
+// in cmd/benchtables.
+//
+// Example: the §3 catastrophe, then the paper's fix:
+//
+//	resetsim -baseline -msgs 2000 -reset-receiver 1500 -replay
+//	resetsim           -msgs 2000 -reset-receiver 1500 -replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"antireplay/internal/experiments"
+	"antireplay/internal/netsim"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		kp       = flag.Uint64("kp", 25, "sender SAVE interval Kp")
+		kq       = flag.Uint64("kq", 25, "receiver SAVE interval Kq")
+		w        = flag.Int("w", 64, "anti-replay window width")
+		msgs     = flag.Uint64("msgs", 10000, "messages to send")
+		baseline = flag.Bool("baseline", false, "use the §2 baseline (no SAVE/FETCH)")
+		loss     = flag.Float64("loss", 0, "link loss probability")
+		reorder  = flag.Float64("reorder", 0, "link reorder probability")
+		reorderD = flag.Duration("reorder-delay", 200*time.Microsecond, "max reorder hold-back")
+		dup      = flag.Float64("dup", 0, "link duplication probability")
+		rstSnd   = flag.Uint64("reset-sender", 0, "reset the sender after this many sends (0 = never)")
+		rstRcv   = flag.Uint64("reset-receiver", 0, "reset the receiver after observing this many messages (0 = never)")
+		outage   = flag.Duration("outage", time.Millisecond, "reset outage duration")
+		replay   = flag.Bool("replay", false, "adversary replays the full history after the receiver wake-up")
+		leap     = flag.Float64("leap", 0, "leap factor override (0 = paper's 2)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultFlowConfig(*seed)
+	cfg.Kp, cfg.Kq, cfg.W = *kp, *kq, *w
+	cfg.Baseline = *baseline
+	cfg.LeapFactor = *leap
+	cfg.Link = netsim.LinkConfig{
+		Delay:        cfg.Link.Delay,
+		LossProb:     *loss,
+		DupProb:      *dup,
+		ReorderProb:  *reorder,
+		ReorderDelay: *reorderD,
+	}
+	if *reorder == 0 {
+		cfg.Link.ReorderDelay = 0
+	}
+
+	f, err := experiments.NewFlow(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *rstSnd > 0 {
+		f.AtSendCount(*rstSnd, func() {
+			fmt.Printf("t=%v  sender reset (wake in %v)\n", f.Engine.Now(), *outage)
+			f.Sender.Reset()
+			f.Engine.After(*outage, f.Sender.Wake)
+		})
+	}
+	if *rstRcv > 0 {
+		f.AtObserveCount(*rstRcv, func() {
+			fmt.Printf("t=%v  receiver reset (wake in %v)\n", f.Engine.Now(), *outage)
+			if *replay {
+				// The replay attack is strongest while the sender is quiet
+				// (fresh traffic would slam the window shut ahead of the
+				// replays); give the adversary its §3 best case.
+				f.StopTraffic()
+				fmt.Printf("t=%v  sender goes quiet (adversary's best case)\n", f.Engine.Now())
+			}
+			f.Receiver.Reset()
+			f.Engine.After(*outage, func() {
+				f.Receiver.Wake()
+				if *replay {
+					at := f.Engine.Now() + cfg.SaveDelay*2
+					n := f.Replayer.ReplayAllAt(at, cfg.SendInterval)
+					fmt.Printf("t=%v  adversary schedules %d replays\n", f.Engine.Now(), n)
+				}
+			})
+		})
+	}
+
+	f.AtSendCount(*msgs, f.StopTraffic)
+	f.StartTraffic(time.Hour)
+	f.Run(time.Duration(*msgs)*cfg.SendInterval*4 + *outage*4 + time.Second)
+
+	fmt.Printf("\nsent=%d skipped_while_down=%d last_seq=%d\n", f.Sent(), f.SkippedSends(), f.LastSent())
+	fmt.Printf("link: %+v\n", f.Link.Stats())
+	fmt.Printf("outcome: %v\n", f.Matrix)
+	fmt.Printf("duplicate deliveries (MUST be 0): %d\n", f.DupDeliveries())
+	fmt.Printf("sender:   %+v\n", f.Sender.Stats())
+	fmt.Printf("receiver: %+v (edge %d)\n", f.Receiver.Stats(), f.Receiver.Edge())
+
+	if f.DupDeliveries() > 0 && !*baseline {
+		fmt.Fprintln(os.Stderr, "resetsim: SAFETY VIOLATION under the resilient protocol")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+package antireplay_test
+
+// Godoc examples for the public API.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"antireplay"
+)
+
+// The minimal protocol loop: number, admit, crash, recover, reject replays.
+func Example() {
+	var txStore, rxStore antireplay.MemStore
+	snd, _ := antireplay.NewSender(antireplay.SenderConfig{K: 25, Store: &txStore})
+	rcv, _ := antireplay.NewReceiver(antireplay.ReceiverConfig{K: 25, W: 64, Store: &rxStore})
+
+	var history []uint64
+	for i := 0; i < 100; i++ {
+		seq, _ := snd.Next()
+		history = append(history, seq)
+		rcv.Admit(seq)
+	}
+
+	rcv.Reset() // crash
+	rcv.Wake()  // FETCH + leap 2K + SAVE (synchronous with the default saver)
+
+	replayed := 0
+	for _, seq := range history {
+		if rcv.Admit(seq).Delivered() {
+			replayed++
+		}
+	}
+	fmt.Printf("replays delivered after recovery: %d\n", replayed)
+	// Output: replays delivered after recovery: 0
+}
+
+// Sizing the SAVE interval from the paper's §4 rule.
+func ExampleSizeK() {
+	// The paper's worked example: a 100µs disk write, 4µs per message.
+	k := antireplay.SizeK(100*time.Microsecond, 4*time.Microsecond)
+	fmt.Println(k)
+	// Output: 25
+}
+
+// The wake-up leap that covers a torn in-flight save.
+func ExampleLeap() {
+	fmt.Println(antireplay.Leap(25, antireplay.DefaultLeapFactor))
+	// Output: 50
+}
+
+// ESP end to end with IKE-negotiated keys.
+func ExampleEstablishSA() {
+	res, err := antireplay.EstablishSA(
+		antireplay.IKEConfig{PSK: []byte("psk"), Rand: rand.New(rand.NewSource(1)), ID: "east"},
+		antireplay.IKEConfig{PSK: []byte("psk"), Rand: rand.New(rand.NewSource(2)), ID: "west"},
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	var txStore, rxStore antireplay.MemStore
+	snd, _ := antireplay.NewSender(antireplay.SenderConfig{K: 25, Store: &txStore})
+	rcv, _ := antireplay.NewReceiver(antireplay.ReceiverConfig{K: 25, W: 64, Store: &rxStore})
+	out, _ := antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, antireplay.Lifetime{}, nil)
+	in, _ := antireplay.NewInboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, rcv, true, antireplay.Lifetime{}, nil)
+
+	wire, _ := out.Seal([]byte("through the tunnel"))
+	payload, verdict, _ := in.Open(wire)
+	fmt.Printf("%s (%v)\n", payload, verdict)
+
+	_, verdict, _ = in.Open(wire) // replay
+	fmt.Printf("replay verdict: %v\n", verdict)
+	// Output:
+	// through the tunnel (new)
+	// replay verdict: duplicate
+}
+
+// A bidirectional host pair with automatic reset recovery.
+func ExampleNewPeerPair() {
+	var delivered []string
+	aCfg := antireplay.PeerConfig{Name: "east", K: 25}
+	bCfg := antireplay.PeerConfig{Name: "west", K: 25,
+		OnData: func(p []byte) { delivered = append(delivered, string(p)) }}
+
+	a, _, err := antireplay.NewPeerPair(aCfg, bCfg,
+		antireplay.IKEConfig{PSK: []byte("psk"), Rand: rand.New(rand.NewSource(3)), ID: "east"},
+		antireplay.IKEConfig{PSK: []byte("psk"), Rand: rand.New(rand.NewSource(4)), ID: "west"},
+		nil, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	_ = a.Send([]byte("before the crash"))
+	a.Reset()
+	if err := a.Wake(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = a.Send([]byte("after the crash"))
+
+	fmt.Println(delivered[0])
+	fmt.Println(delivered[len(delivered)-1])
+	// Output:
+	// before the crash
+	// after the crash
+}

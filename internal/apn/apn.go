@@ -1,0 +1,265 @@
+// Package apn is a small runtime for the Abstract Protocol Notation the
+// paper specifies its protocols in (Gouda, "Elements of Network Protocol
+// Design"): a protocol is a set of processes, each a set of guarded actions
+// over local state and message channels.
+//
+// Execution follows the notation's three rules: an action executes only
+// when its guard is true; actions execute one at a time (interleaving
+// semantics — each action is atomic); and an action whose guard is
+// continuously true is eventually executed (weak fairness, realized here by
+// uniform random choice among enabled actions from a seeded source, plus a
+// deterministic Exec for schedule-controlled tests).
+//
+// The paper's processes p and q — both the §2 baseline and the §4
+// SAVE/FETCH versions — are encoded in this package (see paper.go) and are
+// differentially tested against the production implementation in
+// internal/core.
+package apn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Sentinel errors.
+var (
+	// ErrUnknownAction reports an Exec of an action that does not exist.
+	ErrUnknownAction = errors.New("apn: unknown action")
+	// ErrNotEnabled reports an Exec of an action whose guard is false.
+	ErrNotEnabled = errors.New("apn: action not enabled")
+)
+
+// Msg is a protocol message: the paper's msg(s) plus a tag for control
+// messages.
+type Msg struct {
+	// Tag names the message type; the data messages of the paper are "msg".
+	Tag string
+	// Seq is the sequence number carried by the message.
+	Seq uint64
+}
+
+// Channel is a message channel between two processes. The default order is
+// FIFO; Pick-based receive (random order) models the reordering channel of
+// §2 when enabled.
+type Channel struct {
+	name    string
+	queue   []Msg
+	reorder bool
+	rng     *rand.Rand
+}
+
+// Name returns the channel's name ("from->to").
+func (c *Channel) Name() string { return c.name }
+
+// Send appends m to the channel (the notation's send statement).
+func (c *Channel) Send(m Msg) { c.queue = append(c.queue, m) }
+
+// Inject inserts m as an adversary would (same as Send; the channel cannot
+// tell the difference, which is the point of the replay attack).
+func (c *Channel) Inject(m Msg) { c.queue = append(c.queue, m) }
+
+// Len returns the number of queued messages.
+func (c *Channel) Len() int { return len(c.queue) }
+
+// Drop removes the i-th queued message, modelling message loss.
+// It reports whether the index existed.
+func (c *Channel) Drop(i int) bool {
+	if i < 0 || i >= len(c.queue) {
+		return false
+	}
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	return true
+}
+
+// receive removes and returns the next message: the head in FIFO mode, a
+// uniformly random element in reorder mode.
+func (c *Channel) receive() (Msg, bool) {
+	if len(c.queue) == 0 {
+		return Msg{}, false
+	}
+	i := 0
+	if c.reorder && c.rng != nil {
+		i = c.rng.Intn(len(c.queue))
+	}
+	m := c.queue[i]
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	return m, true
+}
+
+// Action is one guarded command of a process.
+type Action struct {
+	// Name identifies the action for Exec and traces.
+	Name string
+	// Guard enables the action; nil means always enabled (the paper's
+	// "true ->" guard). For receive actions the guard is implicit: the
+	// channel must be non-empty (an additional Guard, if set, must also
+	// hold).
+	Guard func() bool
+	// Body executes the action's statement. Exactly one of Body or OnMsg
+	// must be set.
+	Body func()
+	// From, when non-nil, makes this a receive action: the action is
+	// enabled when From has a message, and OnMsg consumes it.
+	From *Channel
+	// OnMsg handles the received message for receive actions.
+	OnMsg func(Msg)
+}
+
+func (a *Action) enabled() bool {
+	if a.From != nil && a.From.Len() == 0 {
+		return false
+	}
+	if a.Guard != nil && !a.Guard() {
+		return false
+	}
+	return true
+}
+
+func (a *Action) execute() {
+	if a.From != nil {
+		m, ok := a.From.receive()
+		if !ok {
+			return
+		}
+		a.OnMsg(m)
+		return
+	}
+	a.Body()
+}
+
+// Process is a named set of actions.
+type Process struct {
+	name    string
+	actions []*Action
+}
+
+// NewProcess returns an empty process.
+func NewProcess(name string) *Process { return &Process{name: name} }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Add appends an action. It panics on a malformed action (programmer
+// error): no name, or neither/both of Body and OnMsg.
+func (p *Process) Add(a *Action) *Process {
+	if a.Name == "" {
+		panic("apn: action without name")
+	}
+	hasBody := a.Body != nil
+	hasRecv := a.From != nil && a.OnMsg != nil
+	if hasBody == hasRecv {
+		panic(fmt.Sprintf("apn: action %s.%s must have exactly one of Body or From+OnMsg", p.name, a.Name))
+	}
+	p.actions = append(p.actions, a)
+	return p
+}
+
+// System is a protocol: processes plus channels, with a scheduler.
+type System struct {
+	rng    *rand.Rand
+	procs  []*Process
+	chans  map[string]*Channel
+	steps  uint64
+	maxLag int
+}
+
+// NewSystem returns a system whose scheduling randomness derives from seed.
+func NewSystem(seed int64) *System {
+	return &System{rng: rand.New(rand.NewSource(seed)), chans: make(map[string]*Channel)}
+}
+
+// Add registers processes with the scheduler.
+func (s *System) Add(procs ...*Process) {
+	s.procs = append(s.procs, procs...)
+}
+
+// Chan returns (creating on first use) the channel from one process name to
+// another, in FIFO order.
+func (s *System) Chan(from, to string) *Channel {
+	key := from + "->" + to
+	c, ok := s.chans[key]
+	if !ok {
+		c = &Channel{name: key, rng: s.rng}
+		s.chans[key] = c
+	}
+	return c
+}
+
+// SetReorder switches a channel between FIFO and random-order delivery.
+func (s *System) SetReorder(c *Channel, reorder bool) { c.reorder = reorder }
+
+// ActionRef identifies an enabled action.
+type ActionRef struct {
+	Process string
+	Action  string
+}
+
+// Enabled lists all currently enabled actions in declaration order.
+func (s *System) Enabled() []ActionRef {
+	var out []ActionRef
+	for _, p := range s.procs {
+		for _, a := range p.actions {
+			if a.enabled() {
+				out = append(out, ActionRef{Process: p.name, Action: a.Name})
+			}
+		}
+	}
+	return out
+}
+
+// Step executes one uniformly random enabled action, reporting whether any
+// action was enabled.
+func (s *System) Step() bool {
+	type cand struct{ a *Action }
+	var cands []cand
+	for _, p := range s.procs {
+		for _, a := range p.actions {
+			if a.enabled() {
+				cands = append(cands, cand{a})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	c := cands[s.rng.Intn(len(cands))]
+	c.a.execute()
+	s.steps++
+	return true
+}
+
+// Run executes up to maxSteps random steps, returning how many ran.
+func (s *System) Run(maxSteps int) int {
+	n := 0
+	for n < maxSteps && s.Step() {
+		n++
+	}
+	return n
+}
+
+// Exec executes one specific action by process and action name, for
+// schedule-controlled tests. It returns ErrUnknownAction or ErrNotEnabled
+// when it cannot.
+func (s *System) Exec(process, action string) error {
+	for _, p := range s.procs {
+		if p.name != process {
+			continue
+		}
+		for _, a := range p.actions {
+			if a.Name != action {
+				continue
+			}
+			if !a.enabled() {
+				return fmt.Errorf("%w: %s.%s", ErrNotEnabled, process, action)
+			}
+			a.execute()
+			s.steps++
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s.%s", ErrUnknownAction, process, action)
+}
+
+// Steps returns the number of actions executed so far.
+func (s *System) Steps() uint64 { return s.steps }

@@ -1,0 +1,507 @@
+package apn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestChannelFIFO(t *testing.T) {
+	c := &Channel{name: "a->b"}
+	c.Send(Msg{Tag: "msg", Seq: 1})
+	c.Send(Msg{Tag: "msg", Seq: 2})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	m, ok := c.receive()
+	if !ok || m.Seq != 1 {
+		t.Errorf("receive = %+v %v, want seq 1", m, ok)
+	}
+	m, ok = c.receive()
+	if !ok || m.Seq != 2 {
+		t.Errorf("receive = %+v %v, want seq 2", m, ok)
+	}
+	if _, ok := c.receive(); ok {
+		t.Error("receive on empty channel should report false")
+	}
+}
+
+func TestChannelDrop(t *testing.T) {
+	c := &Channel{}
+	c.Send(Msg{Seq: 1})
+	c.Send(Msg{Seq: 2})
+	c.Send(Msg{Seq: 3})
+	if !c.Drop(1) {
+		t.Fatal("Drop(1) = false")
+	}
+	if c.Drop(5) {
+		t.Error("Drop(5) on 2-element queue should be false")
+	}
+	m, _ := c.receive()
+	if m.Seq != 1 {
+		t.Errorf("head = %d, want 1", m.Seq)
+	}
+	m, _ = c.receive()
+	if m.Seq != 3 {
+		t.Errorf("next = %d, want 3 (2 was dropped)", m.Seq)
+	}
+}
+
+func TestChannelReorder(t *testing.T) {
+	c := &Channel{rng: rand.New(rand.NewSource(5)), reorder: true}
+	for i := uint64(1); i <= 100; i++ {
+		c.Send(Msg{Seq: i})
+	}
+	var got []uint64
+	for {
+		m, ok := c.receive()
+		if !ok {
+			break
+		}
+		got = append(got, m.Seq)
+	}
+	if len(got) != 100 {
+		t.Fatalf("received %d, want 100", len(got))
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("reordering channel delivered in order; expected shuffling")
+	}
+}
+
+func TestSystemExecAndErrors(t *testing.T) {
+	sys := NewSystem(1)
+	n := 0
+	enabled := true
+	p := NewProcess("p")
+	p.Add(&Action{Name: "inc", Guard: func() bool { return enabled }, Body: func() { n++ }})
+	sys.Add(p)
+
+	if err := sys.Exec("p", "inc"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	enabled = false
+	if err := sys.Exec("p", "inc"); !errors.Is(err, ErrNotEnabled) {
+		t.Errorf("Exec disabled = %v, want ErrNotEnabled", err)
+	}
+	if err := sys.Exec("p", "nope"); !errors.Is(err, ErrUnknownAction) {
+		t.Errorf("Exec unknown = %v, want ErrUnknownAction", err)
+	}
+	if err := sys.Exec("ghost", "inc"); !errors.Is(err, ErrUnknownAction) {
+		t.Errorf("Exec unknown proc = %v, want ErrUnknownAction", err)
+	}
+	if sys.Steps() != 1 {
+		t.Errorf("Steps = %d, want 1", sys.Steps())
+	}
+}
+
+func TestSystemStepWeakFairness(t *testing.T) {
+	// Two always-enabled actions: over many random steps both must run.
+	sys := NewSystem(7)
+	var a, b int
+	p := NewProcess("p")
+	p.Add(&Action{Name: "a", Body: func() { a++ }})
+	p.Add(&Action{Name: "b", Body: func() { b++ }})
+	sys.Add(p)
+	sys.Run(1000)
+	if a == 0 || b == 0 {
+		t.Errorf("fairness violated: a=%d b=%d", a, b)
+	}
+	if a+b != 1000 {
+		t.Errorf("total = %d, want 1000", a+b)
+	}
+}
+
+func TestSystemStepNoneEnabled(t *testing.T) {
+	sys := NewSystem(1)
+	p := NewProcess("p")
+	p.Add(&Action{Name: "never", Guard: func() bool { return false }, Body: func() {}})
+	sys.Add(p)
+	if sys.Step() {
+		t.Error("Step with no enabled actions should report false")
+	}
+	if got := sys.Run(10); got != 0 {
+		t.Errorf("Run = %d, want 0", got)
+	}
+	if refs := sys.Enabled(); len(refs) != 0 {
+		t.Errorf("Enabled = %v, want empty", refs)
+	}
+}
+
+func TestReceiveActionGuardedByChannel(t *testing.T) {
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	var got []uint64
+	q := NewProcess("q")
+	q.Add(&Action{Name: "rcv", From: ch, OnMsg: func(m Msg) { got = append(got, m.Seq) }})
+	sys.Add(q)
+
+	if len(sys.Enabled()) != 0 {
+		t.Fatal("receive enabled on empty channel")
+	}
+	ch.Send(Msg{Seq: 9})
+	refs := sys.Enabled()
+	if len(refs) != 1 || refs[0].Action != "rcv" {
+		t.Fatalf("Enabled = %v, want [q.rcv]", refs)
+	}
+	if !sys.Step() {
+		t.Fatal("Step = false")
+	}
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("got = %v, want [9]", got)
+	}
+}
+
+func TestChanIdentity(t *testing.T) {
+	sys := NewSystem(1)
+	a := sys.Chan("p", "q")
+	b := sys.Chan("p", "q")
+	if a != b {
+		t.Error("Chan must return the same channel for the same pair")
+	}
+	c := sys.Chan("q", "p")
+	if a == c {
+		t.Error("opposite directions must be distinct channels")
+	}
+	if a.Name() != "p->q" {
+		t.Errorf("Name = %q, want p->q", a.Name())
+	}
+}
+
+func TestAddPanicsOnMalformedAction(t *testing.T) {
+	tests := []struct {
+		name string
+		a    *Action
+	}{
+		{"unnamed", &Action{Body: func() {}}},
+		{"no body", &Action{Name: "x"}},
+		{"both bodies", &Action{Name: "x", Body: func() {}, From: &Channel{}, OnMsg: func(Msg) {}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Add should panic")
+				}
+			}()
+			NewProcess("p").Add(tt.a)
+		})
+	}
+}
+
+func TestPaperSenderBaselineStream(t *testing.T) {
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	p := NewPaperSender("p", ch, 0, false)
+	sys.Add(p.Process())
+
+	for i := 0; i < 5; i++ {
+		if err := sys.Exec("p", "send"); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	for want := uint64(1); want <= 5; want++ {
+		m, ok := ch.receive()
+		if !ok || m.Seq != want {
+			t.Fatalf("msg = %+v %v, want seq %d", m, ok, want)
+		}
+	}
+	if p.S != 6 {
+		t.Errorf("S = %d, want 6", p.S)
+	}
+}
+
+func TestPaperSenderBaselineResetForgets(t *testing.T) {
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	p := NewPaperSender("p", ch, 0, false)
+	sys.Add(p.Process())
+
+	for i := 0; i < 10; i++ {
+		_ = sys.Exec("p", "send")
+	}
+	p.RequestReset()
+	if err := sys.Exec("p", "reset"); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if !p.Wait {
+		t.Fatal("Wait = false after reset")
+	}
+	if err := sys.Exec("p", "send"); !errors.Is(err, ErrNotEnabled) {
+		t.Fatalf("send while down = %v, want ErrNotEnabled", err)
+	}
+	p.RequestWake()
+	if err := sys.Exec("p", "wake"); err != nil {
+		t.Fatalf("wake: %v", err)
+	}
+	if p.S != 1 {
+		t.Errorf("baseline S after wake = %d, want 1 (§3 vulnerability)", p.S)
+	}
+}
+
+func TestPaperSenderSaveFetchLeap(t *testing.T) {
+	const k = 5
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	p := NewPaperSender("p", ch, k, true)
+	sys.Add(p.Process())
+
+	// k sends trigger the background SAVE(k+1).
+	for i := 0; i < k; i++ {
+		if err := sys.Exec("p", "send"); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if !p.SavePending() {
+		t.Fatal("no background SAVE pending after K sends")
+	}
+	if p.Lst != k+1 {
+		t.Fatalf("Lst = %d, want %d", p.Lst, k+1)
+	}
+	if err := sys.Exec("p", "save"); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if v, ok := p.Durable(); !ok || v != k+1 {
+		t.Fatalf("durable = %d %v, want %d", v, ok, k+1)
+	}
+
+	// Reset after the save committed: wake resumes at durable + 2K.
+	p.RequestReset()
+	_ = sys.Exec("p", "reset")
+	p.RequestWake()
+	_ = sys.Exec("p", "wake")
+	if want := uint64(k + 1 + 2*k); p.S != want {
+		t.Errorf("S after wake = %d, want %d", p.S, want)
+	}
+	if v, _ := p.Durable(); v != p.S {
+		t.Errorf("durable = %d, want %d (wake saves synchronously)", v, p.S)
+	}
+}
+
+func TestPaperSenderTornSave(t *testing.T) {
+	const k = 5
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	p := NewPaperSender("p", ch, k, true)
+	sys.Add(p.Process())
+
+	for i := 0; i < k; i++ {
+		_ = sys.Exec("p", "send")
+	}
+	_ = sys.Exec("p", "save") // durable k+1
+	for i := 0; i < k; i++ {
+		_ = sys.Exec("p", "send") // SAVE(2k+1) pending
+	}
+	lastUsed := p.S - 1
+	if !p.SavePending() {
+		t.Fatal("expected pending save")
+	}
+	// Reset strikes before the save commits: the write is torn.
+	p.RequestReset()
+	_ = sys.Exec("p", "reset")
+	if p.SavePending() {
+		t.Fatal("reset must tear the pending save")
+	}
+	p.RequestWake()
+	_ = sys.Exec("p", "wake")
+	if want := uint64(k + 1 + 2*k); p.S != want {
+		t.Errorf("S after wake = %d, want %d (stale fetch + leap)", p.S, want)
+	}
+	if p.S <= lastUsed {
+		t.Errorf("SAFETY: S %d not above last used %d", p.S, lastUsed)
+	}
+}
+
+func TestPaperReceiverThreeCases(t *testing.T) {
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	q := NewPaperReceiver("q", ch, 64, 10, true)
+	sys.Add(q.Process())
+
+	admit := func(s uint64) bool {
+		t.Helper()
+		ch.Send(Msg{Tag: "msg", Seq: s})
+		if err := sys.Exec("q", "rcv"); err != nil {
+			t.Fatalf("rcv: %v", err)
+		}
+		return q.Log[len(q.Log)-1].Delivered
+	}
+
+	if !admit(100) {
+		t.Error("fresh 100 should deliver")
+	}
+	if q.R != 100 {
+		t.Errorf("R = %d, want 100", q.R)
+	}
+	if !admit(80) {
+		t.Error("in-window 80 should deliver")
+	}
+	if admit(80) {
+		t.Error("duplicate 80 should discard")
+	}
+	if admit(100) {
+		t.Error("replay of edge should discard")
+	}
+	if admit(36) {
+		t.Error("stale 36 should discard")
+	}
+	if !admit(37) {
+		t.Error("left edge 37 should deliver")
+	}
+}
+
+func TestPaperReceiverWakeLeapsAndBlocksReplays(t *testing.T) {
+	const k = 10
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	q := NewPaperReceiver("q", ch, 32, k, true)
+	sys.Add(q.Process())
+
+	admit := func(s uint64) bool {
+		ch.Send(Msg{Tag: "msg", Seq: s})
+		if err := sys.Exec("q", "rcv"); err != nil {
+			t.Fatalf("rcv: %v", err)
+		}
+		return q.Log[len(q.Log)-1].Delivered
+	}
+
+	for s := uint64(1); s <= k; s++ {
+		admit(s) // triggers SAVE(k)
+	}
+	if !q.SavePending() {
+		t.Fatal("no SAVE pending at edge k")
+	}
+	_ = sys.Exec("q", "save")
+	for s := uint64(k + 1); s <= k+5; s++ {
+		admit(s)
+	}
+	lastReceived := uint64(k + 5)
+
+	q.RequestReset()
+	_ = sys.Exec("q", "reset")
+	q.RequestWake()
+	_ = sys.Exec("q", "wake")
+
+	if want := uint64(k + 2*k); q.R != want {
+		t.Errorf("R after wake = %d, want %d", q.R, want)
+	}
+	for s := uint64(1); s <= lastReceived; s++ {
+		if admit(s) {
+			t.Fatalf("SAFETY: replay of %d delivered after wake", s)
+		}
+	}
+	if !admit(q.R + 1) {
+		t.Error("fresh message above new edge should deliver")
+	}
+}
+
+func TestPaperBaselineReceiverAcceptsReplaysAfterReset(t *testing.T) {
+	sys := NewSystem(1)
+	ch := sys.Chan("p", "q")
+	q := NewPaperReceiver("q", ch, 32, 0, false)
+	sys.Add(q.Process())
+
+	admit := func(s uint64) bool {
+		ch.Send(Msg{Tag: "msg", Seq: s})
+		if err := sys.Exec("q", "rcv"); err != nil {
+			t.Fatalf("rcv: %v", err)
+		}
+		return q.Log[len(q.Log)-1].Delivered
+	}
+	for s := uint64(1); s <= 50; s++ {
+		admit(s)
+	}
+	q.RequestReset()
+	_ = sys.Exec("q", "reset")
+	q.RequestWake()
+	_ = sys.Exec("q", "wake")
+
+	accepted := 0
+	for s := uint64(1); s <= 50; s++ {
+		if admit(s) {
+			accepted++
+		}
+	}
+	if accepted != 50 {
+		t.Errorf("baseline accepted %d of 50 replays, want all (§3)", accepted)
+	}
+}
+
+// TestPaperSystemRandomizedNoDuplicateDelivery runs the full §4 protocol
+// under the random scheduler with resets, wakes, and adversarial replays,
+// and checks the paper's central theorem: the receiver never delivers the
+// same sequence number twice.
+func TestPaperSystemRandomizedNoDuplicateDelivery(t *testing.T) {
+	runRandomizedScenario(t, 1)
+}
+
+func runRandomizedScenario(t *testing.T, seed int64) {
+	t.Helper()
+	sys := NewSystem(seed)
+	rng := rand.New(rand.NewSource(seed * 31))
+	ch := sys.Chan("p", "q")
+	const k = 7
+	p := NewPaperSender("p", ch, k, true)
+	q := NewPaperReceiver("q", ch, 16, k, true)
+	sys.Add(p.Process(), q.Process())
+
+	var sent []Msg
+	for step := 0; step < 5000; step++ {
+		switch r := rng.Intn(100); {
+		case r == 0:
+			p.RequestReset()
+		case r == 1:
+			q.RequestReset()
+		case r < 6:
+			if p.Wait {
+				p.RequestWake()
+			}
+			if q.Wait {
+				q.RequestWake()
+			}
+		case r < 16 && len(sent) > 0:
+			ch.Inject(sent[rng.Intn(len(sent))]) // adversary replay
+		default:
+			before := p.S
+			sys.Step()
+			if p.S > before {
+				sent = append(sent, Msg{Tag: "msg", Seq: before})
+			}
+		}
+	}
+	// Drain: wake everyone and let the system run dry of receive work.
+	if p.Wait {
+		p.RequestWake()
+	}
+	if q.Wait {
+		q.RequestWake()
+	}
+	for i := 0; i < 2000 && sys.Step(); i++ {
+	}
+
+	seen := make(map[uint64]int)
+	for _, ev := range q.Log {
+		if !ev.Delivered {
+			continue
+		}
+		seen[ev.Seq]++
+		if seen[ev.Seq] > 1 {
+			t.Fatalf("seed %d: SAFETY: sequence %d delivered twice", seed, ev.Seq)
+		}
+	}
+}
+
+func TestPaperSystemRandomizedManySeeds(t *testing.T) {
+	for seed := int64(2); seed <= 25; seed++ {
+		runRandomizedScenario(t, seed)
+	}
+}

@@ -1,0 +1,172 @@
+package core_test
+
+// Tests for the strict durable horizon — the guard this implementation adds
+// beyond the paper after finding that the receiver-side Figure 2 analysis
+// assumes the window edge advances at most Kq numbers per save interval.
+// See DESIGN.md §5 ("Beyond the paper").
+
+import (
+	"errors"
+	"testing"
+
+	"antireplay/internal/core"
+	"antireplay/internal/store"
+)
+
+// TestPaperProtocolLossJumpViolation pins the gap itself: under the paper's
+// unguarded protocol, a loss-induced sequence jump whose save is torn by a
+// reset lets the adversary deliver the jumped message twice. If this test
+// ever fails, the faithful reproduction of the paper's behaviour changed.
+func TestPaperProtocolLossJumpViolation(t *testing.T) {
+	const k = 25
+	var m store.Mem
+	sv := newManualSaver(&m)
+	r := mustReceiver(t, core.ReceiverConfig{K: k, W: 64, Store: &m, Saver: sv})
+
+	for s := uint64(1); s <= 50; s++ {
+		r.Admit(s)
+	}
+	sv.CommitAll(t) // durable 50
+
+	// Loss burst: 51..999 never arrive. 1000 arrives and is delivered.
+	if v := r.Admit(1000); !v.Delivered() {
+		t.Fatalf("jump delivery = %v", v)
+	}
+	// SAVE(1000) is in flight; the reset tears it.
+	r.Reset()
+	r.Wake()
+	sv.CommitAll(t)
+
+	if v := r.Admit(1000); !v.Delivered() {
+		t.Fatal("expected the paper's protocol to re-deliver the jumped message — " +
+			"the reproduction of the analysis gap no longer holds")
+	}
+}
+
+// TestStrictHorizonClosesLossJump: the same schedule with StrictHorizon
+// never delivers the jumped message in the first place (it lies beyond
+// committed+2K), so nothing can repeat.
+func TestStrictHorizonClosesLossJump(t *testing.T) {
+	const k = 25
+	var m store.Mem
+	sv := newManualSaver(&m)
+	r := mustReceiver(t, core.ReceiverConfig{K: k, W: 64, Store: &m, Saver: sv, StrictHorizon: true})
+
+	for s := uint64(1); s <= 50; s++ {
+		r.Admit(s)
+		sv.CommitAll(t)
+	}
+
+	// The jump lands beyond the durable horizon (50+2K=100): dropped.
+	if v := r.Admit(1000); v != core.VerdictHorizon {
+		t.Fatalf("jump verdict = %v, want horizon", v)
+	}
+	r.Reset()
+	r.Wake()
+	sv.CommitAll(t)
+	// Replay of the jump: beyond the (new) horizon again, or eventually
+	// delivered exactly once when saves catch up; never twice.
+	first := r.Admit(1000)
+	second := r.Admit(1000)
+	if first.Delivered() && second.Delivered() {
+		t.Fatal("SAFETY: delivered twice despite the horizon")
+	}
+}
+
+// TestStrictHorizonLiveness: with commits keeping pace, the horizon never
+// interferes — gap-free traffic flows exactly as in the paper's protocol.
+func TestStrictHorizonLiveness(t *testing.T) {
+	const k = 10
+	var m store.Mem
+	sv := newManualSaver(&m)
+	r := mustReceiver(t, core.ReceiverConfig{K: k, W: 64, Store: &m, Saver: sv, StrictHorizon: true})
+	for s := uint64(1); s <= 500; s++ {
+		if v := r.Admit(s); !v.Delivered() {
+			t.Fatalf("Admit(%d) = %v with commits keeping pace", s, v)
+		}
+		sv.CommitAll(t)
+	}
+}
+
+// TestStrictHorizonRecoversAfterJumpDrop: a jump is dropped, but once saves
+// catch up the stream resumes (bounded unavailability, not a deadlock).
+func TestStrictHorizonRecoversAfterJumpDrop(t *testing.T) {
+	const k = 10
+	var m store.Mem
+	sv := newManualSaver(&m)
+	r := mustReceiver(t, core.ReceiverConfig{K: k, W: 256, Store: &m, Saver: sv, StrictHorizon: true})
+	for s := uint64(1); s <= 30; s++ {
+		r.Admit(s)
+		sv.CommitAll(t)
+	}
+	// Jump to 90: beyond horizon 30+20=50 -> dropped. The sender retries
+	// (or later traffic arrives); each delivered message below the horizon
+	// advances the edge, starts saves, and extends the horizon.
+	if v := r.Admit(90); v != core.VerdictHorizon {
+		t.Fatalf("Admit(90) = %v, want horizon", v)
+	}
+	delivered := false
+	for try := 0; try < 10 && !delivered; try++ {
+		// In-horizon traffic keeps flowing and commits extend the horizon.
+		for s := uint64(31 + try*5); s <= uint64(35+try*5); s++ {
+			r.Admit(s)
+			sv.CommitAll(t)
+		}
+		delivered = r.Admit(90).Delivered()
+		sv.CommitAll(t)
+	}
+	if !delivered {
+		t.Fatal("jump never became deliverable; horizon starved the stream")
+	}
+}
+
+func TestSenderStrictHorizonBackpressure(t *testing.T) {
+	const k = 5
+	var m store.Mem
+	sv := newManualSaver(&m)
+	s := mustSender(t, core.SenderConfig{K: k, Store: &m, Saver: sv, StrictHorizon: true})
+
+	// With no commits at all, the sender refuses past committed(1)+2K-1.
+	sent := 0
+	for {
+		_, err := s.Next()
+		if errors.Is(err, core.ErrSaveLag) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent++
+		if sent > 3*k {
+			t.Fatal("no backpressure: sender ran past the horizon")
+		}
+	}
+	if sent != 2*k {
+		t.Errorf("sent %d before backpressure, want %d (seqs 1..committed+leap-1)", sent, 2*k)
+	}
+	// A commit releases the backpressure.
+	sv.CommitAll(t)
+	if _, err := s.Next(); err != nil {
+		t.Errorf("Next after commit = %v, want nil", err)
+	}
+	// And a reset after all this never reuses a number.
+	s.Reset()
+	s.Wake()
+	sv.CommitAll(t)
+	seq, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= uint64(sent)+1 {
+		t.Errorf("SAFETY: resumed at %d, at or below used numbers", seq)
+	}
+}
+
+func TestVerdictHorizonString(t *testing.T) {
+	if got := core.VerdictHorizon.String(); got != "horizon" {
+		t.Errorf("String = %q, want horizon", got)
+	}
+	if core.VerdictHorizon.Delivered() {
+		t.Error("horizon verdict must not deliver")
+	}
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"antireplay/internal/seqwin"
+	"antireplay/internal/store"
+	"antireplay/internal/trace"
+)
+
+// Verdict is the receiver's outcome for one observed message.
+type Verdict uint8
+
+// Verdict values.
+const (
+	// VerdictNew delivers a message beyond the window's right edge.
+	VerdictNew Verdict = iota + 1
+	// VerdictInWindow delivers an unseen message inside the window.
+	VerdictInWindow
+	// VerdictDuplicate discards a message already marked in the window.
+	VerdictDuplicate
+	// VerdictStale discards a message below the window.
+	VerdictStale
+	// VerdictBuffered defers a message that arrived during the post-wake
+	// SAVE; its final verdict is reported through the Drain callback.
+	VerdictBuffered
+	// VerdictOverflow discards a message because the post-wake buffer was
+	// full.
+	VerdictOverflow
+	// VerdictDown discards a message that arrived while the machine was off.
+	VerdictDown
+	// VerdictHorizon discards a message whose sequence number lies at or
+	// beyond the strict durable horizon (committed+leap): delivering it
+	// before the in-flight save commits could let a later reset accept its
+	// replay. Only produced with ReceiverConfig.StrictHorizon.
+	VerdictHorizon
+)
+
+// Delivered reports whether the verdict delivers the message to the
+// application.
+func (v Verdict) Delivered() bool { return v == VerdictNew || v == VerdictInWindow }
+
+// String returns the lower-case verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNew:
+		return "new"
+	case VerdictInWindow:
+		return "in-window"
+	case VerdictDuplicate:
+		return "duplicate"
+	case VerdictStale:
+		return "stale"
+	case VerdictBuffered:
+		return "buffered"
+	case VerdictOverflow:
+		return "overflow"
+	case VerdictDown:
+		return "down"
+	case VerdictHorizon:
+		return "horizon"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+func verdictOf(d seqwin.Decision) Verdict {
+	switch d {
+	case seqwin.DecisionNew:
+		return VerdictNew
+	case seqwin.DecisionInWindow:
+		return VerdictInWindow
+	case seqwin.DecisionDuplicate:
+		return VerdictDuplicate
+	default:
+		return VerdictStale
+	}
+}
+
+// DefaultWakeBuffer is the default capacity of the post-wake message buffer.
+const DefaultWakeBuffer = 1024
+
+// ReceiverConfig configures a Receiver.
+type ReceiverConfig struct {
+	// K is the paper's Kq: a background SAVE of the window edge starts
+	// whenever the edge has advanced K past the last saved value.
+	// Required (>= 1) unless Baseline is set.
+	K uint64
+	// LeapFactor scales the post-wake leap; zero means the paper's 2.
+	// Negative disables the leap (ablation only; unsafe).
+	LeapFactor float64
+	// W is the anti-replay window width used when Window is nil
+	// (a seqwin.Bitmap is created). Defaults to 64.
+	W int
+	// Window overrides the window implementation.
+	Window seqwin.Window
+	// Store is the durable cell holding the saved edge. Required unless
+	// Baseline is set.
+	Store store.Store
+	// Saver executes background SAVEs; nil means synchronous saves.
+	Saver BackgroundSaver
+	// Baseline selects the §2 protocol: no SAVE/FETCH; a wake-up restarts
+	// with edge 0 and a cleared window (§3).
+	Baseline bool
+	// AblationSkipPostWakeSave resumes immediately after FETCH+leap without
+	// waiting for the synchronous post-wake SAVE, dropping the paper's §4
+	// "second consideration" protection. UNSAFE — a second reset before the
+	// next save then re-accepts replayed traffic. For ablation experiments
+	// only.
+	AblationSkipPostWakeSave bool
+	// StrictHorizon enforces the invariant "every delivered sequence
+	// number < committed+leap" by discarding (VerdictHorizon) messages at
+	// or beyond the durable horizon. This closes a gap in the paper's
+	// receiver-side analysis: its Figure 2 bound assumes the window edge
+	// advances at most Kq sequence numbers per save interval, which a
+	// loss-induced jump violates — two resets around such a jump let the
+	// paper's protocol deliver a message twice. With the guard the
+	// no-duplicate-delivery theorem holds unconditionally, at the cost of
+	// bounded drops while saves catch up to a jump.
+	StrictHorizon bool
+	// WakeBuffer caps the messages buffered during the post-wake SAVE;
+	// zero means DefaultWakeBuffer.
+	WakeBuffer int
+	// Drain receives the deferred verdict of each buffered message after
+	// the post-wake SAVE completes, in arrival order. Nil discards them
+	// (they are still counted in Stats and Trace).
+	Drain func(seq uint64, v Verdict)
+	// Trace receives protocol events; nil discards them.
+	Trace *trace.Collector
+	// Name labels trace events (e.g. "q").
+	Name string
+	// Clock supplies trace timestamps; nil means zero timestamps.
+	Clock func() time.Duration
+}
+
+func (c ReceiverConfig) leapFactor() float64 {
+	if c.LeapFactor == 0 {
+		return DefaultLeapFactor
+	}
+	return c.LeapFactor
+}
+
+// Validate reports configuration errors.
+func (c ReceiverConfig) Validate() error {
+	if c.W < 0 {
+		return fmt.Errorf("%w: W must be >= 0", ErrConfig)
+	}
+	if c.WakeBuffer < 0 {
+		return fmt.Errorf("%w: WakeBuffer must be >= 0", ErrConfig)
+	}
+	if c.Baseline {
+		return nil
+	}
+	if c.K == 0 {
+		return fmt.Errorf("%w: K must be >= 1", ErrConfig)
+	}
+	if c.Store == nil {
+		return fmt.Errorf("%w: Store is required", ErrConfig)
+	}
+	return nil
+}
+
+// Receiver is the paper's process q: an anti-replay window with SAVE/FETCH
+// persistence of the right edge. Safe for concurrent use.
+type Receiver struct {
+	cfg   ReceiverConfig
+	saver BackgroundSaver
+	now   nowFunc
+
+	mu        sync.Mutex
+	win       seqwin.Window
+	lst       uint64 // last edge value handed to a SAVE (paper: lst)
+	committed uint64 // last edge value known durable
+	state     State
+	gen       uint64
+	wakeErr   error
+	buffer    []uint64 // messages held during StateWaking
+
+	delivered   uint64
+	discarded   uint64
+	savesStart  uint64
+	savesOK     uint64
+	savesFailed uint64
+	resets      uint64
+	overflowed  uint64
+}
+
+// NewReceiver validates cfg and returns a ready receiver. For a resilient
+// receiver whose store is empty, the initial edge (0) is saved synchronously
+// — the paper's lst "initially 0".
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	win := cfg.Window
+	if win == nil {
+		w := cfg.W
+		if w == 0 {
+			w = 64
+		}
+		win = seqwin.NewBitmap(w)
+	}
+	if cfg.WakeBuffer == 0 {
+		cfg.WakeBuffer = DefaultWakeBuffer
+	}
+	r := &Receiver{
+		cfg:   cfg,
+		saver: cfg.Saver,
+		now:   clockOrZero(cfg.Clock),
+		win:   win,
+		state: StateUp,
+	}
+	if !cfg.Baseline {
+		if r.saver == nil {
+			r.saver = SyncSaver{Store: cfg.Store}
+		}
+		if _, ok, err := cfg.Store.Fetch(); err != nil {
+			return nil, fmt.Errorf("core: probing receiver store: %w", err)
+		} else if !ok {
+			if err := cfg.Store.Save(0); err != nil {
+				return nil, fmt.Errorf("core: initializing receiver store: %w", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Admit runs the paper's receive action for sequence number s: decide
+// against the window, then start a background SAVE if the edge advanced K
+// past the last saved value. While the machine is down the message is
+// unobserved (VerdictDown); while waking it is buffered for the Drain
+// callback (VerdictBuffered) or dropped if the buffer is full
+// (VerdictOverflow).
+func (r *Receiver) Admit(s uint64) Verdict {
+	r.mu.Lock()
+	switch r.state {
+	case StateDown:
+		r.mu.Unlock()
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindDiscardDown, Node: r.cfg.Name, Seq: s})
+		return VerdictDown
+	case StateWaking:
+		if len(r.buffer) >= r.cfg.WakeBuffer {
+			r.overflowed++
+			r.mu.Unlock()
+			r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindBufferOverflow, Node: r.cfg.Name, Seq: s})
+			return VerdictOverflow
+		}
+		r.buffer = append(r.buffer, s)
+		r.mu.Unlock()
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindBuffered, Node: r.cfg.Name, Seq: s})
+		return VerdictBuffered
+	}
+	v, save := r.decideLocked(s)
+	r.mu.Unlock()
+
+	r.traceVerdict(s, v)
+	save()
+	return v
+}
+
+// decideLocked applies the window decision and prepares any triggered SAVE.
+// The returned closure must be invoked after releasing the lock.
+func (r *Receiver) decideLocked(s uint64) (Verdict, func()) {
+	if r.cfg.StrictHorizon && !r.cfg.Baseline {
+		if horizon := r.committed + Leap(r.cfg.K, r.cfg.leapFactor()); s >= horizon {
+			r.discarded++
+			// Extend the horizon: start a save of s itself so the stream
+			// resumes one save-latency later (retransmissions or subsequent
+			// packets then fall below the new horizon). Saving a value above
+			// the current edge is safe — it only widens the post-reset
+			// fresh-sacrifice window, exactly as the leap itself does.
+			if s > r.lst {
+				r.lst = s
+				r.savesStart++
+				gen, val := r.gen, s
+				return VerdictHorizon, func() {
+					r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: val})
+					r.saver.StartSave(val, func(err error) { r.saveDone(gen, val, err) })
+				}
+			}
+			return VerdictHorizon, func() {}
+		}
+	}
+	d := r.win.Admit(s)
+	v := verdictOf(d)
+	if v.Delivered() {
+		r.delivered++
+	} else {
+		r.discarded++
+	}
+	if r.cfg.Baseline {
+		return v, func() {}
+	}
+	edge := r.win.Edge()
+	if edge < r.cfg.K+r.lst {
+		return v, func() {}
+	}
+	r.lst = edge
+	r.savesStart++
+	gen := r.gen
+	return v, func() {
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: edge})
+		r.saver.StartSave(edge, func(err error) { r.saveDone(gen, edge, err) })
+	}
+}
+
+func (r *Receiver) traceVerdict(s uint64, v Verdict) {
+	var k trace.Kind
+	switch v {
+	case VerdictNew, VerdictInWindow:
+		k = trace.KindDeliver
+	case VerdictDuplicate:
+		k = trace.KindDiscardDup
+	case VerdictStale:
+		k = trace.KindDiscardStale
+	case VerdictHorizon:
+		k = trace.KindDiscardHorizon
+	default:
+		return
+	}
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: k, Node: r.cfg.Name, Seq: s})
+}
+
+// Reset crashes the receiver: window, counters and buffer are volatile and
+// considered lost; any in-flight save is discarded.
+func (r *Receiver) Reset() {
+	r.mu.Lock()
+	r.state = StateDown
+	r.gen++
+	r.resets++
+	r.wakeErr = nil
+	r.buffer = nil
+	r.mu.Unlock()
+
+	if c, ok := r.saver.(Canceler); ok {
+		c.Cancel()
+	}
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindReset, Node: r.cfg.Name})
+}
+
+// Wake boots the receiver after a reset, implementing the paper's third
+// action of process q: FETCH(r); SAVE(r+2Kq); r := r+2Kq; mark the whole
+// window received. Messages arriving before the SAVE completes are buffered
+// and decided afterwards through the Drain callback. Wake on an endpoint
+// that is not down is a no-op; a failed FETCH or SAVE leaves it down with
+// the error available from LastWakeError.
+func (r *Receiver) Wake() {
+	r.mu.Lock()
+	if r.state != StateDown {
+		r.mu.Unlock()
+		return
+	}
+	if r.cfg.Baseline {
+		// §3: the reset receiver restarts with r=0 and a cleared window,
+		// accepting any previously used sequence number again.
+		r.win.Reinit(0, false)
+		r.state = StateUp
+		r.mu.Unlock()
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWake, Node: r.cfg.Name})
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWakeDone, Node: r.cfg.Name})
+		return
+	}
+	r.state = StateWaking
+	gen := r.gen
+	r.mu.Unlock()
+
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWake, Node: r.cfg.Name})
+
+	v, ok, err := r.cfg.Store.Fetch()
+	if err == nil && !ok {
+		err = ErrNoSavedState
+	}
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindFetch, Node: r.cfg.Name, Seq: v})
+	if err != nil {
+		r.failWake(gen, fmt.Errorf("core: receiver wake fetch: %w", err))
+		return
+	}
+	leaped := v + Leap(r.cfg.K, r.cfg.leapFactor())
+	if r.cfg.AblationSkipPostWakeSave {
+		// UNSAFE ablation: resume without the durable leap record.
+		r.saver.StartSave(leaped, func(err error) { r.saveDone(gen, leaped, err) })
+		r.finishWake(gen, leaped, nil)
+		return
+	}
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: leaped})
+	r.saver.StartSave(leaped, func(err error) { r.finishWake(gen, leaped, err) })
+}
+
+func (r *Receiver) failWake(gen uint64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gen != gen {
+		return
+	}
+	r.state = StateDown
+	r.wakeErr = err
+}
+
+func (r *Receiver) finishWake(gen, leaped uint64, err error) {
+	r.mu.Lock()
+	if r.gen != gen {
+		r.mu.Unlock()
+		return
+	}
+	if err != nil {
+		r.state = StateDown
+		r.wakeErr = fmt.Errorf("core: receiver post-wake save: %w", err)
+		r.mu.Unlock()
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveError, Node: r.cfg.Name, Seq: leaped})
+		return
+	}
+	// Paper: r := fetched + 2Kq; every entry of wdw set to true.
+	r.win.Reinit(leaped, true)
+	r.lst = leaped
+	r.committed = leaped
+	r.state = StateUp
+	buf := r.buffer
+	r.buffer = nil
+	r.mu.Unlock()
+
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveDone, Node: r.cfg.Name, Seq: leaped})
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWakeDone, Node: r.cfg.Name, Seq: leaped})
+
+	// Decide the buffered messages in arrival order.
+	for _, s := range buf {
+		r.mu.Lock()
+		v, save := r.decideLocked(s)
+		r.mu.Unlock()
+		r.traceVerdict(s, v)
+		save()
+		if r.cfg.Drain != nil {
+			r.cfg.Drain(s, v)
+		}
+	}
+}
+
+func (r *Receiver) saveDone(gen, v uint64, err error) {
+	r.mu.Lock()
+	if r.gen != gen {
+		r.mu.Unlock()
+		return
+	}
+	if err != nil {
+		r.savesFailed++
+		if r.lst == v {
+			r.lst = r.committed
+		}
+		r.mu.Unlock()
+		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveError, Node: r.cfg.Name, Seq: v})
+		return
+	}
+	r.savesOK++
+	if v > r.committed {
+		r.committed = v
+	}
+	r.mu.Unlock()
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveDone, Node: r.cfg.Name, Seq: v})
+}
+
+// Edge returns the anti-replay window's right edge (paper: r).
+func (r *Receiver) Edge() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.win.Edge()
+}
+
+// W returns the anti-replay window width.
+func (r *Receiver) W() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.win.W()
+}
+
+// LastStored returns the last edge value handed to a SAVE (paper: lst).
+func (r *Receiver) LastStored() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lst
+}
+
+// State returns the lifecycle state.
+func (r *Receiver) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// LastWakeError returns the error that kept the last Wake from completing.
+func (r *Receiver) LastWakeError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wakeErr
+}
+
+// ReceiverStats is a snapshot of receiver counters.
+type ReceiverStats struct {
+	Delivered    uint64
+	Discarded    uint64
+	SavesStarted uint64
+	SavesOK      uint64
+	SavesFailed  uint64
+	Resets       uint64
+	Overflowed   uint64
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReceiverStats{
+		Delivered:    r.delivered,
+		Discarded:    r.discarded,
+		SavesStarted: r.savesStart,
+		SavesOK:      r.savesOK,
+		SavesFailed:  r.savesFailed,
+		Resets:       r.resets,
+		Overflowed:   r.overflowed,
+	}
+}

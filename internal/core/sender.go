@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"antireplay/internal/store"
+	"antireplay/internal/trace"
+)
+
+// SenderConfig configures a Sender.
+type SenderConfig struct {
+	// K is the paper's Kp: a background SAVE starts whenever the counter
+	// has advanced K past the last value handed to a SAVE. Required (>= 1)
+	// unless Baseline is set.
+	K uint64
+	// LeapFactor scales the post-wake leap: leap = ceil(LeapFactor*K).
+	// Zero means DefaultLeapFactor (the paper's 2). Negative values disable
+	// the leap entirely (ablation only; unsafe).
+	LeapFactor float64
+	// Store is the durable cell holding the saved counter. Required unless
+	// Baseline is set.
+	Store store.Store
+	// Saver executes background SAVEs. Nil means synchronous saves through
+	// Store (SyncSaver).
+	Saver BackgroundSaver
+	// Baseline selects the §2 protocol: no SAVE/FETCH, and a wake-up
+	// restarts the counter at 1 — the configuration whose failure modes §3
+	// demonstrates.
+	Baseline bool
+	// AblationSkipPostWakeSave resumes immediately after FETCH+leap without
+	// waiting for the synchronous post-wake SAVE, dropping the paper's §4
+	// "second consideration" protection. UNSAFE — a second reset before the
+	// next save then reuses sequence numbers. For ablation experiments only.
+	AblationSkipPostWakeSave bool
+	// StrictHorizon enforces the invariant "every handed-out sequence
+	// number < committed+leap" by refusing sends (ErrSaveLag) once the
+	// counter reaches the durable horizon. This strengthens the paper:
+	// the no-reuse guarantee then holds even when K is undersized for the
+	// medium — the failure mode becomes bounded backpressure instead of
+	// silent sequence reuse. With K sized per §4 (SizeK) the horizon is
+	// never hit and behaviour is identical to the paper's protocol.
+	StrictHorizon bool
+	// Trace receives protocol events; nil discards them.
+	Trace *trace.Collector
+	// Name labels trace events (e.g. "p").
+	Name string
+	// Clock supplies trace timestamps; nil means zero timestamps.
+	Clock func() time.Duration
+}
+
+func (c SenderConfig) leapFactor() float64 {
+	if c.LeapFactor == 0 {
+		return DefaultLeapFactor
+	}
+	return c.LeapFactor
+}
+
+// Validate reports configuration errors.
+func (c SenderConfig) Validate() error {
+	if c.Baseline {
+		return nil
+	}
+	if c.K == 0 {
+		return fmt.Errorf("%w: K must be >= 1", ErrConfig)
+	}
+	if c.Store == nil {
+		return fmt.Errorf("%w: Store is required", ErrConfig)
+	}
+	return nil
+}
+
+// Sender is the paper's process p: it hands out increasing sequence numbers
+// and maintains the durable counter through SAVE/FETCH. Safe for concurrent
+// use.
+type Sender struct {
+	cfg   SenderConfig
+	saver BackgroundSaver
+	now   nowFunc
+
+	mu        sync.Mutex
+	s         uint64 // next sequence number to hand out (paper: s)
+	lst       uint64 // last value handed to a SAVE (paper: lst)
+	committed uint64 // last value known durable
+	state     State
+	gen       uint64 // bumped by Reset; stales in-flight callbacks
+	wakeErr   error
+
+	sent        uint64
+	savesStart  uint64
+	savesOK     uint64
+	savesFailed uint64
+	resets      uint64
+}
+
+// NewSender validates cfg and returns a ready sender. For a resilient
+// sender whose store is empty, the initial counter (1) is saved
+// synchronously, making the first post-reset FETCH well defined — the
+// paper's lst "initially 1".
+func NewSender(cfg SenderConfig) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	x := &Sender{
+		cfg:   cfg,
+		saver: cfg.Saver,
+		now:   clockOrZero(cfg.Clock),
+		s:     1,
+		lst:   1,
+		state: StateUp,
+	}
+	if !cfg.Baseline {
+		if x.saver == nil {
+			x.saver = SyncSaver{Store: cfg.Store}
+		}
+		if _, ok, err := cfg.Store.Fetch(); err != nil {
+			return nil, fmt.Errorf("core: probing sender store: %w", err)
+		} else if !ok {
+			if err := cfg.Store.Save(1); err != nil {
+				return nil, fmt.Errorf("core: initializing sender store: %w", err)
+			}
+		}
+		x.committed = 1
+	}
+	return x, nil
+}
+
+// Next returns the sequence number for the next outgoing message,
+// implementing the paper's first action of process p: emit s, increment,
+// and start a background SAVE once the counter has advanced K past lst.
+// It returns ErrDown or ErrWaking while the endpoint cannot send.
+func (x *Sender) Next() (uint64, error) {
+	x.mu.Lock()
+	switch x.state {
+	case StateDown:
+		x.mu.Unlock()
+		return 0, ErrDown
+	case StateWaking:
+		x.mu.Unlock()
+		return 0, ErrWaking
+	}
+	if x.cfg.StrictHorizon && !x.cfg.Baseline {
+		if horizon := x.committed + Leap(x.cfg.K, x.cfg.leapFactor()); x.s >= horizon {
+			x.mu.Unlock()
+			return 0, ErrSaveLag
+		}
+	}
+	seq := x.s
+	x.s++
+	x.sent++
+	var (
+		saveVal uint64
+		gen     uint64
+		doSave  bool
+	)
+	if !x.cfg.Baseline && x.s >= x.cfg.K+x.lst {
+		x.lst = x.s
+		x.savesStart++
+		saveVal, gen, doSave = x.s, x.gen, true
+	}
+	x.mu.Unlock()
+
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSend, Node: x.cfg.Name, Seq: seq})
+	if doSave {
+		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveStart, Node: x.cfg.Name, Seq: saveVal})
+		v, g := saveVal, gen
+		x.saver.StartSave(v, func(err error) { x.saveDone(g, v, err) })
+	}
+	return seq, nil
+}
+
+// Reset crashes the sender: all volatile state is considered lost and any
+// in-flight save is discarded (the write never reached the medium).
+func (x *Sender) Reset() {
+	x.mu.Lock()
+	x.state = StateDown
+	x.gen++
+	x.resets++
+	x.wakeErr = nil
+	x.mu.Unlock()
+
+	if c, ok := x.saver.(Canceler); ok {
+		c.Cancel()
+	}
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindReset, Node: x.cfg.Name})
+}
+
+// Wake boots the sender after a reset, implementing the paper's third
+// action: FETCH(s); SAVE(s+2Kp); s := s+2Kp; only when that SAVE completes
+// does the sender leave the waiting state. Wake on an endpoint that is not
+// down is a no-op. A failed FETCH or SAVE leaves the endpoint down with the
+// error available from LastWakeError.
+func (x *Sender) Wake() {
+	x.mu.Lock()
+	if x.state != StateDown {
+		x.mu.Unlock()
+		return
+	}
+	if x.cfg.Baseline {
+		// §3: the reset sender restarts its counter at 1.
+		x.s = 1
+		x.lst = 1
+		x.state = StateUp
+		x.mu.Unlock()
+		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindWake, Node: x.cfg.Name, Seq: 1})
+		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindWakeDone, Node: x.cfg.Name, Seq: 1})
+		return
+	}
+	x.state = StateWaking
+	gen := x.gen
+	x.mu.Unlock()
+
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindWake, Node: x.cfg.Name})
+
+	v, ok, err := x.cfg.Store.Fetch()
+	if err == nil && !ok {
+		err = ErrNoSavedState
+	}
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindFetch, Node: x.cfg.Name, Seq: v})
+	if err != nil {
+		x.failWake(gen, fmt.Errorf("core: sender wake fetch: %w", err))
+		return
+	}
+	leaped := v + Leap(x.cfg.K, x.cfg.leapFactor())
+	if x.cfg.AblationSkipPostWakeSave {
+		// UNSAFE ablation: resume without the durable leap record; a save is
+		// still started in the background, mimicking the naive fix.
+		x.saver.StartSave(leaped, func(err error) { x.saveDone(gen, leaped, err) })
+		x.finishWake(gen, leaped, nil)
+		return
+	}
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveStart, Node: x.cfg.Name, Seq: leaped})
+	x.saver.StartSave(leaped, func(err error) { x.finishWake(gen, leaped, err) })
+}
+
+func (x *Sender) failWake(gen uint64, err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.gen != gen {
+		return
+	}
+	x.state = StateDown
+	x.wakeErr = err
+}
+
+func (x *Sender) finishWake(gen, leaped uint64, err error) {
+	x.mu.Lock()
+	if x.gen != gen {
+		x.mu.Unlock()
+		return
+	}
+	if err != nil {
+		x.state = StateDown
+		x.wakeErr = fmt.Errorf("core: sender post-wake save: %w", err)
+		x.mu.Unlock()
+		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveError, Node: x.cfg.Name, Seq: leaped})
+		return
+	}
+	x.s = leaped
+	x.lst = leaped
+	x.committed = leaped
+	x.state = StateUp
+	x.mu.Unlock()
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveDone, Node: x.cfg.Name, Seq: leaped})
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindWakeDone, Node: x.cfg.Name, Seq: leaped})
+}
+
+// saveDone finalizes a background SAVE started by Next.
+func (x *Sender) saveDone(gen, v uint64, err error) {
+	x.mu.Lock()
+	if x.gen != gen {
+		x.mu.Unlock()
+		return // a reset intervened; the save was torn
+	}
+	if err != nil {
+		x.savesFailed++
+		// Roll lst back so the next send retries the save, unless a newer
+		// save has been started meanwhile.
+		if x.lst == v {
+			x.lst = x.committed
+		}
+		x.mu.Unlock()
+		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveError, Node: x.cfg.Name, Seq: v})
+		return
+	}
+	x.savesOK++
+	if v > x.committed {
+		x.committed = v
+	}
+	x.mu.Unlock()
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveDone, Node: x.cfg.Name, Seq: v})
+}
+
+// Seq returns the next sequence number to be handed out (paper: s).
+func (x *Sender) Seq() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.s
+}
+
+// LastStored returns the last value handed to a SAVE (paper: lst).
+func (x *Sender) LastStored() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.lst
+}
+
+// State returns the lifecycle state.
+func (x *Sender) State() State {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.state
+}
+
+// LastWakeError returns the error that kept the last Wake from completing,
+// if any.
+func (x *Sender) LastWakeError() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.wakeErr
+}
+
+// SenderStats is a snapshot of sender counters.
+type SenderStats struct {
+	Sent         uint64
+	SavesStarted uint64
+	SavesOK      uint64
+	SavesFailed  uint64
+	Resets       uint64
+}
+
+// Stats returns a snapshot of the sender's counters.
+func (x *Sender) Stats() SenderStats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return SenderStats{
+		Sent:         x.sent,
+		SavesStarted: x.savesStart,
+		SavesOK:      x.savesOK,
+		SavesFailed:  x.savesFailed,
+		Resets:       x.resets,
+	}
+}

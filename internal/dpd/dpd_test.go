@@ -1,0 +1,260 @@
+package dpd
+
+import (
+	"testing"
+	"time"
+
+	"antireplay/internal/netsim"
+)
+
+func testConfig(e *netsim.Engine, probes *[]uint64, states *[]PeerState) Config {
+	return Config{
+		Engine:      e,
+		IdleTimeout: 10 * time.Second,
+		AckTimeout:  2 * time.Second,
+		MaxProbes:   3,
+		HoldTime:    60 * time.Second,
+		SendProbe:   func(seq uint64) { *probes = append(*probes, seq) },
+		OnState:     func(s PeerState) { *states = append(*states, s) },
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	e := netsim.NewEngine(1)
+	valid := Config{Engine: e, IdleTimeout: time.Second, AckTimeout: time.Second, SendProbe: func(uint64) {}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid config: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"no engine":    func(c *Config) { c.Engine = nil },
+		"no idle":      func(c *Config) { c.IdleTimeout = 0 },
+		"no ack":       func(c *Config) { c.AckTimeout = 0 },
+		"neg probes":   func(c *Config) { c.MaxProbes = -1 },
+		"no sendprobe": func(c *Config) { c.SendProbe = nil },
+	} {
+		c := valid
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate = nil, want error", name)
+		}
+	}
+}
+
+func TestQuietPeerDeclaredDeadThenExpired(t *testing.T) {
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	var states []PeerState
+	m, err := NewMonitor(testConfig(e, &probes, &states))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle 10s + 3 probes * 2s = dead at 16s; hold 60s -> expired at 76s.
+	e.RunUntil(15 * time.Second)
+	if m.State() != StateProbing {
+		t.Fatalf("state at 15s = %v, want probing", m.State())
+	}
+	e.RunUntil(17 * time.Second)
+	if m.State() != StateDead {
+		t.Fatalf("state at 17s = %v, want dead", m.State())
+	}
+	if len(probes) != 3 {
+		t.Errorf("probes sent = %d, want 3", len(probes))
+	}
+	e.RunUntil(80 * time.Second)
+	if m.State() != StateExpired {
+		t.Fatalf("state at 80s = %v, want expired", m.State())
+	}
+	wantStates := []PeerState{StateProbing, StateDead, StateExpired}
+	if len(states) != len(wantStates) {
+		t.Fatalf("transitions = %v, want %v", states, wantStates)
+	}
+	for i := range wantStates {
+		if states[i] != wantStates[i] {
+			t.Fatalf("transition %d = %v, want %v", i, states[i], wantStates[i])
+		}
+	}
+	probesSent, acks, deaths := m.Stats()
+	if probesSent != 3 || acks != 0 || deaths != 1 {
+		t.Errorf("stats = %d/%d/%d, want 3/0/1", probesSent, acks, deaths)
+	}
+}
+
+func TestInboundTrafficKeepsAlive(t *testing.T) {
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	var states []PeerState
+	m, err := NewMonitor(testConfig(e, &probes, &states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic every 5s forever: never probes.
+	for i := 1; i <= 20; i++ {
+		e.At(time.Duration(i)*5*time.Second, m.NoteInbound)
+	}
+	e.RunUntil(100 * time.Second)
+	if m.State() != StateAlive {
+		t.Fatalf("state = %v, want alive", m.State())
+	}
+	if len(probes) != 0 {
+		t.Errorf("probes = %v, want none", probes)
+	}
+}
+
+func TestAckDuringProbingRecovers(t *testing.T) {
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	var states []PeerState
+	m, err := NewMonitor(testConfig(e, &probes, &states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First probe at 10s; ack arrives at 11s.
+	e.At(11*time.Second, func() { m.NoteAck(1) })
+	e.RunUntil(12 * time.Second)
+	if m.State() != StateAlive {
+		t.Fatalf("state = %v, want alive after ack", m.State())
+	}
+	_, acks, _ := m.Stats()
+	if acks != 1 {
+		t.Errorf("acks = %d, want 1", acks)
+	}
+	// The cycle repeats: idle again from 11s, probing at 21s.
+	e.RunUntil(22 * time.Second)
+	if m.State() != StateProbing {
+		t.Fatalf("state at 22s = %v, want probing again", m.State())
+	}
+}
+
+func TestResurrectionDuringHold(t *testing.T) {
+	// §6: the peer resets, is declared dead, and wakes within the hold
+	// time; its secured announcement revives the association.
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	var states []PeerState
+	m, err := NewMonitor(testConfig(e, &probes, &states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(20 * time.Second) // dead at 16s
+	if m.State() != StateDead {
+		t.Fatalf("state = %v, want dead", m.State())
+	}
+	m.NoteInbound() // the "I am up" message (already window/ICV-checked)
+	if m.State() != StateAlive {
+		t.Fatalf("state = %v, want alive after resurrection", m.State())
+	}
+	// With traffic flowing again, the stale hold timer (armed at the death
+	// declaration, due at 76s) must not expire the revived association.
+	for ts := 25 * time.Second; ts <= 200*time.Second; ts += 5 * time.Second {
+		e.At(ts, m.NoteInbound)
+	}
+	e.RunUntil(200 * time.Second)
+	if m.State() != StateAlive {
+		t.Fatalf("state = %v, want alive while traffic flows", m.State())
+	}
+}
+
+func TestExpiredIgnoresTraffic(t *testing.T) {
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	var states []PeerState
+	m, err := NewMonitor(testConfig(e, &probes, &states))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(100 * time.Second) // expired at 76s
+	if m.State() != StateExpired {
+		t.Fatalf("state = %v, want expired", m.State())
+	}
+	m.NoteInbound()
+	if m.State() != StateExpired {
+		t.Error("expired association must stay expired (IKE required)")
+	}
+	m.NoteAck(1)
+	if m.State() != StateExpired {
+		t.Error("expired association must ignore acks")
+	}
+}
+
+func TestZeroHoldTimeGoesStraightToExpired(t *testing.T) {
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	cfg := Config{
+		Engine:      e,
+		IdleTimeout: time.Second,
+		AckTimeout:  time.Second,
+		MaxProbes:   1,
+		SendProbe:   func(seq uint64) { probes = append(probes, seq) },
+	}
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(10 * time.Second)
+	if m.State() != StateExpired {
+		t.Fatalf("state = %v, want expired (no hold)", m.State())
+	}
+}
+
+func TestDefaultMaxProbes(t *testing.T) {
+	e := netsim.NewEngine(1)
+	var probes []uint64
+	cfg := Config{
+		Engine:      e,
+		IdleTimeout: time.Second,
+		AckTimeout:  time.Second,
+		SendProbe:   func(seq uint64) { probes = append(probes, seq) },
+		HoldTime:    time.Minute,
+	}
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(10 * time.Second)
+	if m.State() != StateDead {
+		t.Fatalf("state = %v, want dead", m.State())
+	}
+	if len(probes) != 3 {
+		t.Errorf("probes = %d, want default 3", len(probes))
+	}
+}
+
+func TestPeerStateString(t *testing.T) {
+	tests := []struct {
+		s    PeerState
+		want string
+	}{
+		{StateAlive, "alive"},
+		{StateProbing, "probing"},
+		{StateDead, "dead"},
+		{StateExpired, "expired"},
+		{PeerState(0), "peerstate(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	kind, seq, ok := ParsePayload(ProbePayload(42))
+	if !ok || kind != "probe" || seq != 42 {
+		t.Errorf("probe parse = %q %d %v", kind, seq, ok)
+	}
+	kind, seq, ok = ParsePayload(AckPayload(7))
+	if !ok || kind != "ack" || seq != 7 {
+		t.Errorf("ack parse = %q %d %v", kind, seq, ok)
+	}
+	kind, _, ok = ParsePayload(ResyncPayload())
+	if !ok || kind != "resync" {
+		t.Errorf("resync parse = %q %v", kind, ok)
+	}
+	if _, _, ok := ParsePayload([]byte("ordinary data")); ok {
+		t.Error("data misclassified as control")
+	}
+	if _, _, ok := ParsePayload([]byte("DPD/R-U-THERE/x")); ok {
+		t.Error("garbage probe seq accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fig1Config parameterizes the sender-reset analysis (paper Figure 1).
+type Fig1Config struct {
+	// K is Kp; the save delay is sized so one SAVE spans K/2 sends, giving
+	// the cycle both an in-flight and a committed phase to reset within.
+	K uint64
+	// ResetOffsets are the send counts (relative to a save-cycle start in
+	// steady state) at which to inject the reset, in [0, K).
+	ResetOffsets []uint64
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// DefaultFig1Config sweeps a full save cycle at the paper's K = 25.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{
+		K:            25,
+		ResetOffsets: []uint64{0, 2, 5, 9, 12, 13, 15, 18, 21, 24},
+		Seed:         1,
+	}
+}
+
+// Fig1SenderReset reproduces Figure 1: a reset strikes the sender at a
+// chosen offset within a steady-state save cycle; the experiment reports the
+// value FETCH returns, the gap to the last used sequence number, the resume
+// point, and the number of lost sequence numbers — all bounded by 2Kp —
+// plus the count of fresh messages the receiver discards after the wake-up
+// (zero, §5 condition (i)).
+func Fig1SenderReset(cfg Fig1Config) (*Table, error) {
+	t := &Table{
+		ID:    "fig1",
+		Title: "Sender reset within a save cycle (paper Fig. 1)",
+		Note: fmt.Sprintf("Kp=%d, leap=2Kp=%d. Expect: lost <= 2Kp always; "+
+			"gap largest when the reset lands mid-save (torn write); zero fresh discards after wake.",
+			cfg.K, 2*cfg.K),
+		Columns: []string{"reset@send", "save", "fetched", "last_used", "gap",
+			"resumed", "lost", "bound_2K", "ok", "fresh_discards"},
+	}
+
+	for _, off := range cfg.ResetOffsets {
+		if off >= cfg.K {
+			return nil, fmt.Errorf("experiments: fig1 offset %d >= K %d", off, cfg.K)
+		}
+		row, err := fig1Row(cfg, off)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func fig1Row(cfg Fig1Config, off uint64) ([]string, error) {
+	fc := DefaultFlowConfig(cfg.Seed)
+	fc.Kp = cfg.K
+	fc.Kq = cfg.K
+	// Size the save to span half a trigger interval: the cycle has an
+	// in-flight phase (offsets < K/2) and a committed phase (offsets >= K/2).
+	fc.SaveDelay = time.Duration(cfg.K/2) * fc.SendInterval
+	f, err := NewFlow(fc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steady state: the 4th save cycle starts at send 4K (s = 4K+1, SAVE(4K+1)).
+	cycleStart := 4 * cfg.K
+	resetAt := cycleStart + off
+	const outage = time.Millisecond
+
+	var (
+		lastUsed uint64
+		inFlight bool
+		fetched  uint64
+	)
+	f.AtSendCount(resetAt, func() {
+		lastUsed = f.LastSent()
+		inFlight = f.senderSaver.InFlight()
+		f.Sender.Reset()
+		f.Engine.After(outage, func() {
+			v, _, err := f.SenderStore.Fetch()
+			if err == nil {
+				fetched = v
+			}
+			f.Sender.Wake()
+		})
+	})
+
+	f.StartTraffic(time.Second)
+	horizon := time.Duration(resetAt)*fc.SendInterval + outage + 10*time.Millisecond
+	f.Run(horizon)
+
+	resumed := fetched + 2*cfg.K
+	gap := lastUsed - fetched
+	lost := resumed - lastUsed - 1
+	bound := 2 * cfg.K
+	saveState := "committed"
+	if inFlight {
+		saveState = "in-flight"
+	}
+	freshDiscards := f.Matrix.FreshDiscarded()
+	ok := lost <= bound && freshDiscards == 0
+
+	return []string{
+		fmt.Sprint(resetAt), saveState, fmt.Sprint(fetched), fmt.Sprint(lastUsed),
+		fmt.Sprint(gap), fmt.Sprint(resumed), fmt.Sprint(lost), fmt.Sprint(bound),
+		fmt.Sprint(ok), fmt.Sprint(freshDiscards),
+	}, nil
+}
+
+// Fig2Config parameterizes the receiver-reset analysis (paper Figure 2).
+type Fig2Config struct {
+	// K is Kq.
+	K uint64
+	// ResetOffsets are receive counts within a steady-state save cycle.
+	ResetOffsets []uint64
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// DefaultFig2Config sweeps a full save cycle at the paper's K = 25.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{
+		K:            25,
+		ResetOffsets: []uint64{0, 2, 5, 9, 12, 13, 15, 18, 21, 24},
+		Seed:         1,
+	}
+}
+
+// Fig2ReceiverReset reproduces Figure 2: a reset strikes the receiver at a
+// chosen offset within a save cycle. After the wake-up the adversary replays
+// the entire recorded history while the sender keeps transmitting. The
+// experiment reports the fetched edge, the resume edge, the number of fresh
+// messages sacrificed (bounded by 2Kq, §5 condition (ii)), and the number
+// of replays accepted (zero — the safety theorem).
+func Fig2ReceiverReset(cfg Fig2Config) (*Table, error) {
+	t := &Table{
+		ID:    "fig2",
+		Title: "Receiver reset within a save cycle (paper Fig. 2)",
+		Note: fmt.Sprintf("Kq=%d, leap=2Kq=%d. Expect: fresh sacrifices <= 2Kq; "+
+			"no sequence number is ever delivered twice (dup_delivered = 0).", cfg.K, 2*cfg.K),
+		Columns: []string{"reset@recv", "save", "fetched", "last_recv",
+			"resumed_edge", "sacrificed", "bound_2K", "replayed", "dup_delivered", "ok"},
+	}
+	for _, off := range cfg.ResetOffsets {
+		if off >= cfg.K {
+			return nil, fmt.Errorf("experiments: fig2 offset %d >= K %d", off, cfg.K)
+		}
+		row, err := fig2Row(cfg, off)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func fig2Row(cfg Fig2Config, off uint64) ([]string, error) {
+	fc := DefaultFlowConfig(cfg.Seed)
+	fc.Kp = cfg.K
+	fc.Kq = cfg.K
+	fc.SaveDelay = time.Duration(cfg.K/2) * fc.SendInterval
+	f, err := NewFlow(fc)
+	if err != nil {
+		return nil, err
+	}
+
+	cycleStart := 4 * cfg.K
+	resetAt := cycleStart + off
+	// A short outage keeps the sender's counter below the leaped edge at
+	// wake time, exposing the fresh-sacrifice window the paper bounds.
+	outage := 5 * fc.SendInterval
+
+	var (
+		lastRecv uint64
+		inFlight bool
+		fetched  uint64
+	)
+	f.AtObserveCount(resetAt, func() {
+		lastRecv = f.Receiver.Edge()
+		inFlight = f.receiverSaver.InFlight()
+		f.Receiver.Reset()
+		f.Engine.After(outage, func() {
+			v, _, err := f.ReceiverStore.Fetch()
+			if err == nil {
+				fetched = v
+			}
+			f.Receiver.Wake()
+			// The adversary replays the full history right after the wake.
+			f.Replayer.ReplayAllAt(f.Engine.Now()+fc.SaveDelay+fc.Link.Delay, fc.SendInterval)
+		})
+	})
+
+	f.StartTraffic(time.Second)
+	horizon := time.Duration(resetAt)*fc.SendInterval + outage + 20*time.Millisecond
+	f.Run(horizon)
+
+	resumedEdge := fetched + 2*cfg.K
+	sacrificed := f.Matrix.FreshDiscarded()
+	replayed := f.Replayer.Injected()
+	dups := f.DupDeliveries()
+	bound := 2 * cfg.K
+	saveState := "committed"
+	if inFlight {
+		saveState = "in-flight"
+	}
+	ok := sacrificed <= bound && dups == 0
+
+	return []string{
+		fmt.Sprint(resetAt), saveState, fmt.Sprint(fetched), fmt.Sprint(lastRecv),
+		fmt.Sprint(resumedEdge), fmt.Sprint(sacrificed), fmt.Sprint(bound),
+		fmt.Sprint(replayed), fmt.Sprint(dups), fmt.Sprint(ok),
+	}, nil
+}

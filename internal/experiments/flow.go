@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"antireplay/internal/adversary"
+	"antireplay/internal/core"
+	"antireplay/internal/netsim"
+	"antireplay/internal/store"
+	"antireplay/internal/trace"
+)
+
+// Packet is the simulated wire unit: a sequence number plus the harness's
+// ground truth about whether this transmission is the sender's original.
+type Packet struct {
+	Seq   uint64
+	Fresh bool
+}
+
+// FlowConfig parameterizes a simulated unidirectional flow p -> q.
+type FlowConfig struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Kp and Kq are the SAVE intervals; W the window width.
+	Kp, Kq uint64
+	W      int
+	// LeapFactor overrides the paper's 2 when non-zero (negative disables).
+	LeapFactor float64
+	// SendInterval is the inter-message gap (paper example: 4µs).
+	SendInterval time.Duration
+	// SaveDelay is the background SAVE duration (paper example: 100µs).
+	SaveDelay time.Duration
+	// Link is the impairment model of the channel.
+	Link netsim.LinkConfig
+	// Baseline selects the §2 protocol on both endpoints.
+	Baseline bool
+	// SkipPostWakeSave selects the unsafe ablation on both endpoints.
+	SkipPostWakeSave bool
+	// WakeBuffer caps the receiver's post-wake buffer (0 = default).
+	WakeBuffer int
+}
+
+// DefaultFlowConfig uses the paper's measured constants: a send every 4µs,
+// a 100µs save, K = 25 on both sides, a 64-wide window, and a clean link.
+func DefaultFlowConfig(seed int64) FlowConfig {
+	return FlowConfig{
+		Seed:         seed,
+		Kp:           25,
+		Kq:           25,
+		W:            64,
+		SendInterval: 4 * time.Microsecond,
+		SaveDelay:    100 * time.Microsecond,
+		Link:         netsim.LinkConfig{Delay: 50 * time.Microsecond},
+	}
+}
+
+// Flow is a running simulated flow with ground-truth accounting.
+type Flow struct {
+	Engine   *netsim.Engine
+	Sender   *core.Sender
+	Receiver *core.Receiver
+	Link     *netsim.Link[Packet]
+	Matrix   *trace.Matrix
+	Recorder *adversary.Recorder[Packet]
+	Replayer *adversary.Replayer[Packet]
+	Trace    *trace.Collector
+
+	SenderStore   *store.Mem
+	ReceiverStore *store.Mem
+	senderSaver   *netsim.SimSaver
+	receiverSaver *netsim.SimSaver
+
+	// VerdictHook, when non-nil, observes every final verdict (including
+	// drained buffered packets) with the harness's ground truth.
+	VerdictHook func(seq uint64, truth trace.Truth, v core.Verdict)
+
+	cfg           FlowConfig
+	sendEnabled   bool
+	sent          uint64
+	lastSent      uint64
+	skippedSends  uint64
+	observed      uint64
+	bufferTruth   []bufferedTruth // truths of buffered packets, FIFO
+	sendHooks     map[uint64]func()
+	observeHooks  map[uint64]func()
+	deliveredSeqs map[uint64]bool
+	dupDelivered  uint64
+}
+
+type bufferedTruth struct {
+	seq   uint64
+	truth trace.Truth
+}
+
+// NewFlow builds the flow but schedules no traffic; call StartTraffic.
+func NewFlow(cfg FlowConfig) (*Flow, error) {
+	if cfg.SendInterval <= 0 {
+		return nil, fmt.Errorf("experiments: SendInterval must be positive")
+	}
+	f := &Flow{
+		Engine:        netsim.NewEngine(cfg.Seed),
+		Matrix:        &trace.Matrix{},
+		Recorder:      adversary.NewRecorder[Packet](),
+		Trace:         trace.NewCollector(0),
+		SenderStore:   &store.Mem{},
+		ReceiverStore: &store.Mem{},
+		cfg:           cfg,
+	}
+	f.senderSaver = netsim.NewSimSaver(f.Engine, f.SenderStore, cfg.SaveDelay)
+	f.receiverSaver = netsim.NewSimSaver(f.Engine, f.ReceiverStore, cfg.SaveDelay)
+
+	sender, err := core.NewSender(core.SenderConfig{
+		K:                        cfg.Kp,
+		LeapFactor:               cfg.LeapFactor,
+		Store:                    f.SenderStore,
+		Saver:                    f.senderSaver,
+		Baseline:                 cfg.Baseline,
+		AblationSkipPostWakeSave: cfg.SkipPostWakeSave,
+		Trace:                    f.Trace,
+		Name:                     "p",
+		Clock:                    f.Engine.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.Sender = sender
+
+	receiver, err := core.NewReceiver(core.ReceiverConfig{
+		K:                        cfg.Kq,
+		LeapFactor:               cfg.LeapFactor,
+		W:                        cfg.W,
+		Store:                    f.ReceiverStore,
+		Saver:                    f.receiverSaver,
+		Baseline:                 cfg.Baseline,
+		AblationSkipPostWakeSave: cfg.SkipPostWakeSave,
+		WakeBuffer:               cfg.WakeBuffer,
+		Trace:                    f.Trace,
+		Name:                     "q",
+		Clock:                    f.Engine.Now,
+		Drain: func(seq uint64, v core.Verdict) {
+			f.drainVerdict(seq, v)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.Receiver = receiver
+
+	f.Link = netsim.NewLink(f.Engine, cfg.Link, f.deliver)
+	f.Link.Tap(func(p Packet) {
+		// The adversary's wiretap records replay-ready copies.
+		f.Recorder.Record(Packet{Seq: p.Seq, Fresh: false})
+	})
+	f.Replayer = adversary.NewReplayer[Packet](f.Engine, f.Link, f.Recorder)
+	f.sendHooks = make(map[uint64]func())
+	f.observeHooks = make(map[uint64]func())
+	f.deliveredSeqs = make(map[uint64]bool)
+	return f, nil
+}
+
+// DupDeliveries returns how many deliveries repeated an already-delivered
+// sequence number. This is the paper's safety metric (Discrimination /
+// anti-replay): it must be zero under the resilient protocol no matter the
+// reset and replay schedule.
+func (f *Flow) DupDeliveries() uint64 { return f.dupDelivered }
+
+// AtSendCount registers fn to run immediately after the n-th successful
+// send (n counts from 1).
+func (f *Flow) AtSendCount(n uint64, fn func()) { f.sendHooks[n] = fn }
+
+// AtObserveCount registers fn to run immediately after the receiver has
+// observed (decided or buffered) its n-th packet.
+func (f *Flow) AtObserveCount(n uint64, fn func()) { f.observeHooks[n] = fn }
+
+// StartTraffic schedules one send every SendInterval from the current
+// virtual time until stop. Sends attempted while the sender is down or
+// waking are skipped and counted.
+func (f *Flow) StartTraffic(stop time.Duration) {
+	f.sendEnabled = true
+	var tick func()
+	tick = func() {
+		if !f.sendEnabled || f.Engine.Now() > stop {
+			return
+		}
+		f.sendOne()
+		f.Engine.After(f.cfg.SendInterval, tick)
+	}
+	f.Engine.After(f.cfg.SendInterval, tick)
+}
+
+// StopTraffic halts the send loop.
+func (f *Flow) StopTraffic() { f.sendEnabled = false }
+
+func (f *Flow) sendOne() {
+	seq, err := f.Sender.Next()
+	if err != nil {
+		f.skippedSends++
+		return
+	}
+	f.sent++
+	f.lastSent = seq
+	f.Link.Send(Packet{Seq: seq, Fresh: true})
+	if fn, ok := f.sendHooks[f.sent]; ok {
+		delete(f.sendHooks, f.sent)
+		fn()
+	}
+}
+
+func (f *Flow) deliver(p Packet) {
+	truth := trace.TruthFresh
+	if !p.Fresh {
+		truth = trace.TruthReplay
+	}
+	v := f.Receiver.Admit(p.Seq)
+	switch v {
+	case core.VerdictBuffered:
+		f.bufferTruth = append(f.bufferTruth, bufferedTruth{seq: p.Seq, truth: truth})
+		f.noteObserved()
+	case core.VerdictDown, core.VerdictOverflow:
+		f.Matrix.Add(truth, trace.VerdictUnobserved)
+	default:
+		f.recordVerdict(p.Seq, truth, v)
+		f.noteObserved()
+	}
+}
+
+func (f *Flow) noteObserved() {
+	f.observed++
+	if fn, ok := f.observeHooks[f.observed]; ok {
+		delete(f.observeHooks, f.observed)
+		fn()
+	}
+}
+
+// drainVerdict resolves a buffered packet's truth in FIFO order (the
+// receiver drains its buffer in arrival order).
+func (f *Flow) drainVerdict(seq uint64, v core.Verdict) {
+	truth := trace.TruthFresh
+	if len(f.bufferTruth) > 0 {
+		truth = f.bufferTruth[0].truth
+		f.bufferTruth = f.bufferTruth[1:]
+	}
+	f.recordVerdict(seq, truth, v)
+}
+
+func (f *Flow) recordVerdict(seq uint64, truth trace.Truth, v core.Verdict) {
+	if f.VerdictHook != nil {
+		f.VerdictHook(seq, truth, v)
+	}
+	if v.Delivered() {
+		if f.deliveredSeqs[seq] {
+			f.dupDelivered++
+		} else {
+			f.deliveredSeqs[seq] = true
+		}
+		f.Matrix.Add(truth, trace.VerdictDelivered)
+		return
+	}
+	f.Matrix.Add(truth, trace.VerdictDiscarded)
+}
+
+// ResetSender schedules a sender reset at down and wake at up. The wake's
+// post-wake SAVE runs on the sender's saver (SaveDelay of virtual time).
+func (f *Flow) ResetSender(down, up time.Duration) {
+	f.Engine.At(down, f.Sender.Reset)
+	f.Engine.At(up, f.Sender.Wake)
+}
+
+// ResetReceiver schedules a receiver reset and wake.
+func (f *Flow) ResetReceiver(down, up time.Duration) {
+	f.Engine.At(down, f.Receiver.Reset)
+	f.Engine.At(up, f.Receiver.Wake)
+}
+
+// Run advances virtual time to t.
+func (f *Flow) Run(t time.Duration) { f.Engine.RunUntil(t) }
+
+// Sent returns how many messages the sender emitted; LastSent the highest
+// sequence number; SkippedSends how many ticks found the sender down.
+func (f *Flow) Sent() uint64 { return f.sent }
+
+// LastSent returns the highest sequence number emitted.
+func (f *Flow) LastSent() uint64 { return f.lastSent }
+
+// SkippedSends returns how many send ticks found the sender unavailable.
+func (f *Flow) SkippedSends() uint64 { return f.skippedSends }

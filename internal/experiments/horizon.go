@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"antireplay/internal/core"
+	"antireplay/internal/store"
+)
+
+// HorizonConfig parameterizes the loss-jump experiment (E13).
+type HorizonConfig struct {
+	// K is the SAVE interval.
+	K uint64
+	// Jumps is the sweep of loss-gap sizes: after 2K in-order deliveries,
+	// seqs up to base+jump are lost and base+jump arrives.
+	Jumps []uint64
+}
+
+// DefaultHorizonConfig sweeps jumps across the 2K cliff for K = 25.
+func DefaultHorizonConfig() HorizonConfig {
+	return HorizonConfig{K: 25, Jumps: []uint64{10, 40, 49, 51, 60, 200, 1000}}
+}
+
+// LossJumpHorizon documents the reproduction's negative result (DESIGN.md
+// §5): the paper's receiver-side theorem fails when a loss-induced sequence
+// jump larger than the leap is delivered and its save is torn by a reset —
+// the jumped message is then delivered twice. The strict-horizon variant
+// drops the jump instead (extending its durable horizon with a save) and
+// never duplicates; the jump is delivered exactly once when retransmitted
+// after the horizon catches up.
+func LossJumpHorizon(cfg HorizonConfig) (*Table, error) {
+	t := &Table{
+		ID:    "horizon",
+		Title: "Loss-jump + torn save + reset: paper protocol vs strict horizon",
+		Note: fmt.Sprintf("K=%d, leap=2K=%d. Expect: paper variant delivers the jumped message twice once "+
+			"jump > leap (the analysis gap); strict variant never duplicates and still delivers the "+
+			"retransmission exactly once.", cfg.K, 2*cfg.K),
+		Columns: []string{"jump", "variant", "jump_delivered", "replay_delivered",
+			"dup_delivery", "retransmit_delivered", "safe"},
+	}
+	for _, jump := range cfg.Jumps {
+		for _, strict := range []bool{false, true} {
+			row, err := horizonRow(cfg.K, jump, strict)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// horizonSaver is a deterministic in-flight saver: commits only on demand,
+// tears on cancel.
+type horizonSaver struct {
+	mu      sync.Mutex
+	st      store.Store
+	pending []struct {
+		v    uint64
+		done func(error)
+	}
+}
+
+func (h *horizonSaver) StartSave(v uint64, done func(error)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pending = append(h.pending, struct {
+		v    uint64
+		done func(error)
+	}{v, done})
+}
+
+func (h *horizonSaver) Cancel() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.pending = nil
+}
+
+func (h *horizonSaver) commitAll() error {
+	h.mu.Lock()
+	batch := h.pending
+	h.pending = nil
+	h.mu.Unlock()
+	for _, p := range batch {
+		if err := h.st.Save(p.v); err != nil {
+			return err
+		}
+		if p.done != nil {
+			p.done(nil)
+		}
+	}
+	return nil
+}
+
+func horizonRow(k, jump uint64, strict bool) ([]string, error) {
+	var m store.Mem
+	sv := &horizonSaver{st: &m}
+	r, err := core.NewReceiver(core.ReceiverConfig{
+		K: k, W: 64, Store: &m, Saver: sv, StrictHorizon: strict,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: 2K in-order deliveries, saves committed (sized K).
+	base := 2 * k
+	for s := uint64(1); s <= base; s++ {
+		r.Admit(s)
+		if err := sv.commitAll(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: seqs base+1 .. base+jump-1 are lost; base+jump arrives.
+	jumpSeq := base + jump
+	jumpDelivered := r.Admit(jumpSeq).Delivered()
+
+	// Phase 3: reset tears whatever save phase 2 started; wake.
+	r.Reset()
+	r.Wake()
+	if err := sv.commitAll(); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: the adversary replays the jumped message.
+	replayDelivered := r.Admit(jumpSeq).Delivered()
+	dup := jumpDelivered && replayDelivered
+
+	// Phase 5: liveness — the sender retransmits (or traffic continues).
+	// Commit saves between attempts: the horizon catches up.
+	retransmitDelivered := false
+	for try := 0; try < 4 && !retransmitDelivered; try++ {
+		if err := sv.commitAll(); err != nil {
+			return nil, err
+		}
+		v := r.Admit(jumpSeq)
+		retransmitDelivered = v.Delivered()
+	}
+	deliveredOnce := jumpDelivered || replayDelivered || retransmitDelivered
+	safe := !dup && deliveredOnce
+
+	name := "paper"
+	if strict {
+		name = "strict"
+	}
+	return []string{
+		fmt.Sprint(jump), name, fmt.Sprint(jumpDelivered), fmt.Sprint(replayDelivered),
+		fmt.Sprint(dup), fmt.Sprint(retransmitDelivered), fmt.Sprint(safe),
+	}, nil
+}

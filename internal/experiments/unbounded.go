@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"antireplay/internal/stats"
+)
+
+// UnboundedConfig parameterizes the §3 baseline-failure demonstration.
+type UnboundedConfig struct {
+	// Traffic is the sweep of pre-reset message counts x.
+	Traffic []uint64
+	// Seed drives the simulation.
+	Seed int64
+}
+
+// DefaultUnboundedConfig doubles x from 500 to 4000.
+func DefaultUnboundedConfig() UnboundedConfig {
+	return UnboundedConfig{Traffic: []uint64{500, 1000, 2000, 4000}, Seed: 1}
+}
+
+// UnboundedBaseline reproduces the §3 claims: under the baseline (§2)
+// protocol, the damage of a reset grows without bound in the amount of
+// pre-reset traffic x — the adversary replays all x messages into a freshly
+// reset receiver and they are all accepted; a freshly reset sender has all
+// its messages discarded until its counter climbs past the receiver's old
+// edge (≈ x discards). The resilient protocol holds both at <= 2K
+// regardless of x. A least-squares fit of damage against x demonstrates
+// slope ≈ 1 (unbounded) vs slope ≈ 0 (bounded).
+func UnboundedBaseline(cfg UnboundedConfig) (*Table, error) {
+	t := &Table{
+		ID:    "unbounded",
+		Title: "Baseline vs resilient damage as pre-reset traffic grows (§3)",
+		Columns: []string{"x_msgs", "protocol", "replays_delivered_again",
+			"fresh_discarded_after_sender_reset"},
+	}
+
+	var xs, baseReplay, baseDiscard, resReplay, resDiscard []float64
+	for _, x := range cfg.Traffic {
+		for _, baseline := range []bool{true, false} {
+			ra, err := receiverResetReplayDamage(cfg.Seed, x, baseline)
+			if err != nil {
+				return nil, err
+			}
+			fd, err := senderResetDiscardDamage(cfg.Seed, x, baseline)
+			if err != nil {
+				return nil, err
+			}
+			name := "resilient"
+			if baseline {
+				name = "baseline"
+				baseReplay = append(baseReplay, float64(ra))
+				baseDiscard = append(baseDiscard, float64(fd))
+			} else {
+				resReplay = append(resReplay, float64(ra))
+				resDiscard = append(resDiscard, float64(fd))
+			}
+			t.AddRow(fmt.Sprint(x), name, fmt.Sprint(ra), fmt.Sprint(fd))
+		}
+		xs = append(xs, float64(x))
+	}
+
+	note := "Expect: baseline damage grows ~linearly in x (slope ~1); resilient stays <= 2K."
+	if fit, err := stats.LinearFit(xs, baseReplay); err == nil {
+		note += fmt.Sprintf(" Baseline replay slope=%.3f (r2=%.3f).", fit.Slope, fit.R2)
+	}
+	if fit, err := stats.LinearFit(xs, baseDiscard); err == nil {
+		note += fmt.Sprintf(" Baseline discard slope=%.3f (r2=%.3f).", fit.Slope, fit.R2)
+	}
+	if fit, err := stats.LinearFit(xs, resReplay); err == nil {
+		note += fmt.Sprintf(" Resilient replay slope=%.3f.", fit.Slope)
+	}
+	if fit, err := stats.LinearFit(xs, resDiscard); err == nil {
+		note += fmt.Sprintf(" Resilient discard slope=%.3f.", fit.Slope)
+	}
+	t.Note = note
+	return t, nil
+}
+
+// receiverResetReplayDamage sends x messages, resets+wakes the receiver,
+// replays the full history, and counts the messages delivered a second
+// time (the §3 replay damage).
+func receiverResetReplayDamage(seed int64, x uint64, baseline bool) (uint64, error) {
+	fc := DefaultFlowConfig(seed)
+	fc.Baseline = baseline
+	f, err := NewFlow(fc)
+	if err != nil {
+		return 0, err
+	}
+	f.AtSendCount(x, func() { f.StopTraffic() })
+	f.StartTraffic(time.Hour)
+	f.Run(time.Duration(x+10) * fc.SendInterval * 2)
+
+	// Reset and wake the receiver, then replay everything.
+	f.Receiver.Reset()
+	f.Receiver.Wake()
+	f.Run(f.Engine.Now() + fc.SaveDelay*2) // let the post-wake save finish
+	f.Replayer.ReplayAllAt(f.Engine.Now(), fc.SendInterval)
+	f.Run(f.Engine.Now() + time.Duration(x+10)*fc.SendInterval*2)
+
+	return f.DupDeliveries(), nil
+}
+
+// senderResetDiscardDamage sends x messages, resets+wakes the sender, and
+// counts how many of the next 2x fresh messages the receiver discards.
+func senderResetDiscardDamage(seed int64, x uint64, baseline bool) (uint64, error) {
+	fc := DefaultFlowConfig(seed)
+	fc.Baseline = baseline
+	f, err := NewFlow(fc)
+	if err != nil {
+		return 0, err
+	}
+	f.AtSendCount(x, func() {
+		f.Sender.Reset()
+		f.Engine.After(fc.SaveDelay, f.Sender.Wake)
+	})
+	f.StartTraffic(time.Hour)
+	// Let the sender emit roughly 2x more messages after the wake.
+	f.Run(time.Duration(3*x+200) * fc.SendInterval * 2)
+	return f.Matrix.FreshDiscarded(), nil
+}

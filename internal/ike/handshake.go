@@ -1,0 +1,271 @@
+package ike
+
+import (
+	"crypto/hmac"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Handshake phases.
+type phase uint8
+
+const (
+	phaseIdle phase = iota
+	phaseInitSent
+	phaseInitHandled
+	phaseAuthSent
+	phaseDone
+)
+
+// Initiator drives the initiator side of the handshake.
+type Initiator struct {
+	cfg   Config
+	stats Stats
+	ph    phase
+
+	spiI, spiR uint64
+	ni, nr     []byte
+	priv       *big.Int
+	pub        []byte
+
+	skeyseed   []byte
+	transcript []byte
+	childSPI   uint32 // initiator-chosen SPI for resp->init traffic
+	keys       ChildKeys
+}
+
+// NewInitiator returns an initiator ready to produce the INIT request.
+func NewInitiator(cfg Config) (*Initiator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Initiator{cfg: cfg}, nil
+}
+
+// InitRequest produces message 1.
+func (i *Initiator) InitRequest() ([]byte, error) {
+	if i.ph != phaseIdle {
+		return nil, fmt.Errorf("%w: InitRequest in phase %d", ErrState, i.ph)
+	}
+	g := i.cfg.group()
+	i.spiI = i.cfg.Rand.Uint64()
+	i.ni = randBytes(i.cfg.Rand, nonceLen)
+	i.priv = new(big.Int).SetBytes(randBytes(i.cfg.Rand, g.Bits/8))
+	i.pub = modExp(&i.stats, g.G, i.priv, g.P).Bytes()
+
+	msg := marshalInit(msgInitReq, initMsg{spi: i.spiI, nonce: i.ni, ke: i.pub})
+	i.transcript = append(i.transcript, msg...)
+	i.stats.MsgsOut++
+	i.stats.BytesOut += len(msg)
+	i.ph = phaseInitSent
+	return msg, nil
+}
+
+// HandleInitResponse consumes message 2 and produces message 3 (AUTH
+// request). The shared secret and SKEYSEED are computed here.
+func (i *Initiator) HandleInitResponse(b []byte) ([]byte, error) {
+	if i.ph != phaseInitSent {
+		return nil, fmt.Errorf("%w: HandleInitResponse in phase %d", ErrState, i.ph)
+	}
+	m, err := unmarshalInit(msgInitResp, b)
+	if err != nil {
+		return nil, err
+	}
+	i.spiR = m.spi
+	i.nr = m.nonce
+	i.transcript = append(i.transcript, b...)
+
+	g := i.cfg.group()
+	secret := modExp(&i.stats, new(big.Int).SetBytes(m.ke), i.priv, g.P)
+	i.skeyseed = prf(append(append([]byte{}, i.ni...), i.nr...), secret.Bytes())
+
+	i.childSPI = uint32(i.cfg.Rand.Uint64())
+	auth := authTag(i.cfg.PSK, i.transcript, "initiator")
+	msg := marshalAuth(msgAuthReq, authMsg{
+		spiI: i.spiI, spiR: i.spiR,
+		id: []byte(i.cfg.ID), auth: auth, childSPI: i.childSPI,
+	})
+	i.stats.MsgsOut++
+	i.stats.BytesOut += len(msg)
+	i.ph = phaseAuthSent
+	return msg, nil
+}
+
+// HandleAuthResponse consumes message 4, verifies the responder's AUTH, and
+// derives the child SA keys.
+func (i *Initiator) HandleAuthResponse(b []byte) error {
+	if i.ph != phaseAuthSent {
+		return fmt.Errorf("%w: HandleAuthResponse in phase %d", ErrState, i.ph)
+	}
+	m, err := unmarshalAuth(msgAuthResp, b)
+	if err != nil {
+		return err
+	}
+	want := authTag(i.cfg.PSK, i.transcript, "responder")
+	if !hmac.Equal(want[:], m.auth[:]) {
+		return ErrAuthFailed
+	}
+	// m.childSPI is the responder-chosen SPI for init->resp traffic.
+	i.keys = deriveChildKeys(i.skeyseed, i.ni, i.nr, m.childSPI, i.childSPI)
+	i.ph = phaseDone
+	return nil
+}
+
+// Established reports whether the handshake completed.
+func (i *Initiator) Established() bool { return i.ph == phaseDone }
+
+// ChildKeys returns the negotiated child SA keying (valid once Established).
+func (i *Initiator) ChildKeys() ChildKeys { return i.keys }
+
+// Stats returns the initiator's accumulated costs.
+func (i *Initiator) Stats() Stats { return i.stats }
+
+// Responder drives the responder side of the handshake.
+type Responder struct {
+	cfg   Config
+	stats Stats
+	ph    phase
+
+	spiI, spiR uint64
+	ni, nr     []byte
+	priv       *big.Int
+
+	skeyseed   []byte
+	transcript []byte
+	childSPI   uint32 // responder-chosen SPI for init->resp traffic
+	keys       ChildKeys
+}
+
+// NewResponder returns a responder awaiting the INIT request.
+func NewResponder(cfg Config) (*Responder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Responder{cfg: cfg}, nil
+}
+
+// HandleInitRequest consumes message 1 and produces message 2.
+func (r *Responder) HandleInitRequest(b []byte) ([]byte, error) {
+	if r.ph != phaseIdle {
+		return nil, fmt.Errorf("%w: HandleInitRequest in phase %d", ErrState, r.ph)
+	}
+	m, err := unmarshalInit(msgInitReq, b)
+	if err != nil {
+		return nil, err
+	}
+	r.spiI = m.spi
+	r.ni = m.nonce
+	r.transcript = append(r.transcript, b...)
+
+	g := r.cfg.group()
+	r.spiR = r.cfg.Rand.Uint64()
+	r.nr = randBytes(r.cfg.Rand, nonceLen)
+	r.priv = new(big.Int).SetBytes(randBytes(r.cfg.Rand, g.Bits/8))
+	pub := modExp(&r.stats, g.G, r.priv, g.P)
+
+	secret := modExp(&r.stats, new(big.Int).SetBytes(m.ke), r.priv, g.P)
+	r.skeyseed = prf(append(append([]byte{}, r.ni...), r.nr...), secret.Bytes())
+
+	msg := marshalInit(msgInitResp, initMsg{spi: r.spiR, nonce: r.nr, ke: pub.Bytes()})
+	r.transcript = append(r.transcript, msg...)
+	r.stats.MsgsOut++
+	r.stats.BytesOut += len(msg)
+	r.ph = phaseInitHandled
+	return msg, nil
+}
+
+// HandleAuthRequest consumes message 3, verifies the initiator's AUTH, and
+// produces message 4, deriving the child SA keys.
+func (r *Responder) HandleAuthRequest(b []byte) ([]byte, error) {
+	if r.ph != phaseInitHandled {
+		return nil, fmt.Errorf("%w: HandleAuthRequest in phase %d", ErrState, r.ph)
+	}
+	m, err := unmarshalAuth(msgAuthReq, b)
+	if err != nil {
+		return nil, err
+	}
+	want := authTag(r.cfg.PSK, r.transcript, "initiator")
+	if !hmac.Equal(want[:], m.auth[:]) {
+		return nil, ErrAuthFailed
+	}
+	r.childSPI = uint32(r.cfg.Rand.Uint64())
+	// m.childSPI is the initiator-chosen SPI for resp->init traffic.
+	r.keys = deriveChildKeys(r.skeyseed, r.ni, r.nr, r.childSPI, m.childSPI)
+
+	auth := authTag(r.cfg.PSK, r.transcript, "responder")
+	msg := marshalAuth(msgAuthResp, authMsg{
+		spiI: r.spiI, spiR: r.spiR,
+		id: []byte(r.cfg.ID), auth: auth, childSPI: r.childSPI,
+	})
+	r.stats.MsgsOut++
+	r.stats.BytesOut += len(msg)
+	r.ph = phaseDone
+	return msg, nil
+}
+
+// Established reports whether the handshake completed.
+func (r *Responder) Established() bool { return r.ph == phaseDone }
+
+// ChildKeys returns the negotiated child SA keying (valid once Established).
+func (r *Responder) ChildKeys() ChildKeys { return r.keys }
+
+// Stats returns the responder's accumulated costs.
+func (r *Responder) Stats() Stats { return r.stats }
+
+// EstablishResult summarizes a completed in-memory handshake.
+type EstablishResult struct {
+	// Keys is the negotiated child keying (identical on both sides).
+	Keys ChildKeys
+	// InitiatorStats and ResponderStats are each party's costs.
+	InitiatorStats Stats
+	ResponderStats Stats
+	// Messages and Bytes total the wire traffic (4 messages).
+	Messages int
+	Bytes    int
+	// Elapsed is the wall-clock duration of the whole handshake.
+	Elapsed time.Duration
+}
+
+// Establish runs the complete 4-message handshake in memory and returns the
+// negotiated keys and costs. It is the unit the multi-SA recovery
+// experiments multiply when pricing the IETF teardown-and-renegotiate
+// remedy.
+func Establish(initCfg, respCfg Config) (EstablishResult, error) {
+	start := time.Now()
+	ini, err := NewInitiator(initCfg)
+	if err != nil {
+		return EstablishResult{}, fmt.Errorf("ike: initiator: %w", err)
+	}
+	rsp, err := NewResponder(respCfg)
+	if err != nil {
+		return EstablishResult{}, fmt.Errorf("ike: responder: %w", err)
+	}
+	m1, err := ini.InitRequest()
+	if err != nil {
+		return EstablishResult{}, err
+	}
+	m2, err := rsp.HandleInitRequest(m1)
+	if err != nil {
+		return EstablishResult{}, err
+	}
+	m3, err := ini.HandleInitResponse(m2)
+	if err != nil {
+		return EstablishResult{}, err
+	}
+	m4, err := rsp.HandleAuthRequest(m3)
+	if err != nil {
+		return EstablishResult{}, err
+	}
+	if err := ini.HandleAuthResponse(m4); err != nil {
+		return EstablishResult{}, err
+	}
+	return EstablishResult{
+		Keys:           ini.ChildKeys(),
+		InitiatorStats: ini.Stats(),
+		ResponderStats: rsp.Stats(),
+		Messages:       4,
+		Bytes:          len(m1) + len(m2) + len(m3) + len(m4),
+		Elapsed:        time.Since(start),
+	}, nil
+}

@@ -1,0 +1,125 @@
+package ipsec
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"antireplay/internal/core"
+)
+
+// SAD is the security association database: inbound SAs keyed by SPI.
+// Safe for concurrent use.
+type SAD struct {
+	mu  sync.RWMutex
+	sas map[uint32]*InboundSA
+}
+
+// NewSAD returns an empty database.
+func NewSAD() *SAD { return &SAD{sas: make(map[uint32]*InboundSA)} }
+
+// Add registers sa, replacing any SA with the same SPI.
+func (d *SAD) Add(sa *InboundSA) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sas[sa.SPI()] = sa
+}
+
+// Delete removes the SA with the given SPI, reporting whether it existed.
+func (d *SAD) Delete(spi uint32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.sas[spi]
+	delete(d.sas, spi)
+	return ok
+}
+
+// Lookup returns the SA for spi.
+func (d *SAD) Lookup(spi uint32) (*InboundSA, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sa, ok := d.sas[spi]
+	return sa, ok
+}
+
+// Len returns the number of registered SAs.
+func (d *SAD) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.sas)
+}
+
+// Open routes wire bytes to the SA named by their SPI and opens them.
+func (d *SAD) Open(wire []byte) ([]byte, core.Verdict, error) {
+	spi, err := ParseSPI(wire)
+	if err != nil {
+		return nil, 0, err
+	}
+	sa, ok := d.Lookup(spi)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+	}
+	return sa.Open(wire)
+}
+
+// Selector matches traffic by source and destination prefix, after the
+// SPD selectors of RFC 4301 (ports and protocol omitted).
+type Selector struct {
+	Src netip.Prefix
+	Dst netip.Prefix
+}
+
+// Matches reports whether the selector covers the (src, dst) pair.
+func (s Selector) Matches(src, dst netip.Addr) bool {
+	return s.Src.Contains(src) && s.Dst.Contains(dst)
+}
+
+// SPD is the security policy database: an ordered list of selectors mapping
+// outbound traffic to SAs (first match wins). Safe for concurrent use.
+type SPD struct {
+	mu      sync.RWMutex
+	entries []spdEntry
+}
+
+type spdEntry struct {
+	sel Selector
+	sa  *OutboundSA
+}
+
+// NewSPD returns an empty policy database.
+func NewSPD() *SPD { return &SPD{} }
+
+// Add appends a policy entry.
+func (p *SPD) Add(sel Selector, sa *OutboundSA) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = append(p.entries, spdEntry{sel: sel, sa: sa})
+}
+
+// Len returns the number of policy entries.
+func (p *SPD) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.entries)
+}
+
+// Lookup returns the first SA whose selector covers (src, dst).
+func (p *SPD) Lookup(src, dst netip.Addr) (*OutboundSA, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		if e.sel.Matches(src, dst) {
+			return e.sa, true
+		}
+	}
+	return nil, false
+}
+
+// Seal finds the policy for (src, dst) and seals payload through its SA.
+func (p *SPD) Seal(src, dst netip.Addr, payload []byte) ([]byte, error) {
+	sa, ok := p.Lookup(src, dst)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v -> %v", ErrNoPolicy, src, dst)
+	}
+	return sa.Seal(payload)
+}

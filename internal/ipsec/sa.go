@@ -1,0 +1,240 @@
+package ipsec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"antireplay/internal/core"
+	"antireplay/internal/seqwin"
+)
+
+// Lifetime bounds an SA's use, after RFC 4301's soft/hard semantics: past
+// the soft bound the SA should be rekeyed; past the hard bound it must not
+// be used.
+type Lifetime struct {
+	SoftBytes uint64
+	HardBytes uint64
+	SoftTime  time.Duration
+	HardTime  time.Duration
+}
+
+// LifetimeState classifies an SA's position in its lifetime.
+type LifetimeState uint8
+
+// Lifetime states.
+const (
+	// LifetimeOK means the SA is fully usable.
+	LifetimeOK LifetimeState = iota + 1
+	// LifetimeSoft means the SA should be rekeyed but still works.
+	LifetimeSoft
+	// LifetimeHard means the SA must not secure further traffic.
+	LifetimeHard
+)
+
+// String returns "ok", "soft" or "hard".
+func (s LifetimeState) String() string {
+	switch s {
+	case LifetimeOK:
+		return "ok"
+	case LifetimeSoft:
+		return "soft"
+	case LifetimeHard:
+		return "hard"
+	default:
+		return fmt.Sprintf("lifetime(%d)", uint8(s))
+	}
+}
+
+// OutboundSA secures one direction of traffic: it numbers packets through
+// the reset-resilient sender and seals them. Safe for concurrent use.
+type OutboundSA struct {
+	spi  uint32
+	keys KeyMaterial
+	seq  *core.Sender
+	life Lifetime
+	now  func() time.Duration
+
+	mu      sync.Mutex
+	born    time.Duration
+	bytes   uint64
+	packets uint64
+}
+
+// NewOutboundSA builds an outbound SA. sender provides the sequence-number
+// service (configure its SAVE/FETCH behaviour there); clock may be nil.
+func NewOutboundSA(spi uint32, keys KeyMaterial, sender *core.Sender, life Lifetime, clock func() time.Duration) (*OutboundSA, error) {
+	if err := keys.Validate(); err != nil {
+		return nil, err
+	}
+	if sender == nil {
+		return nil, fmt.Errorf("%w: nil sender", core.ErrConfig)
+	}
+	o := &OutboundSA{spi: spi, keys: keys, seq: sender, life: life, now: clockOrZero(clock)}
+	o.born = o.now()
+	return o, nil
+}
+
+// SPI returns the SA's security parameter index.
+func (o *OutboundSA) SPI() uint32 { return o.spi }
+
+// Sender exposes the underlying sequence-number sender (for reset/wake).
+func (o *OutboundSA) Sender() *core.Sender { return o.seq }
+
+// Seal encapsulates payload, assigning the next sequence number. It fails
+// with core.ErrDown / core.ErrWaking while the endpoint cannot send and
+// ErrHardExpired past the hard lifetime.
+func (o *OutboundSA) Seal(payload []byte) ([]byte, error) {
+	if o.State() == LifetimeHard {
+		return nil, ErrHardExpired
+	}
+	seq64, err := o.seq.Next()
+	if err != nil {
+		return nil, err
+	}
+	wire, err := seal(o.keys, o.spi, seq64, payload)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	o.bytes += uint64(len(wire))
+	o.packets++
+	o.mu.Unlock()
+	return wire, nil
+}
+
+// State classifies the SA's lifetime position.
+func (o *OutboundSA) State() LifetimeState {
+	o.mu.Lock()
+	bytes := o.bytes
+	born := o.born
+	o.mu.Unlock()
+	return lifetimeState(o.life, bytes, o.now()-born)
+}
+
+// Counters returns bytes and packets sealed so far.
+func (o *OutboundSA) Counters() (bytes, packets uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bytes, o.packets
+}
+
+// InboundSA verifies and decapsulates one direction of traffic, admitting
+// sequence numbers through the reset-resilient receiver. Safe for
+// concurrent use.
+type InboundSA struct {
+	spi    uint32
+	keys   KeyMaterial
+	replay *core.Receiver
+	esn    bool
+	life   Lifetime
+	now    func() time.Duration
+
+	mu        sync.Mutex
+	born      time.Duration
+	bytes     uint64
+	packets   uint64
+	authFails uint64
+	replays   uint64
+}
+
+// NewInboundSA builds an inbound SA. receiver provides the anti-replay
+// service; esn enables 64-bit extended sequence number reconstruction.
+func NewInboundSA(spi uint32, keys KeyMaterial, receiver *core.Receiver, esn bool, life Lifetime, clock func() time.Duration) (*InboundSA, error) {
+	if err := keys.Validate(); err != nil {
+		return nil, err
+	}
+	if receiver == nil {
+		return nil, fmt.Errorf("%w: nil receiver", core.ErrConfig)
+	}
+	i := &InboundSA{spi: spi, keys: keys, replay: receiver, esn: esn, life: life, now: clockOrZero(clock)}
+	i.born = i.now()
+	return i, nil
+}
+
+// SPI returns the SA's security parameter index.
+func (i *InboundSA) SPI() uint32 { return i.spi }
+
+// Receiver exposes the underlying anti-replay receiver (for reset/wake).
+func (i *InboundSA) Receiver() *core.Receiver { return i.replay }
+
+// Open verifies wire bytes and returns the payload. The verdict reports the
+// anti-replay decision; payload is non-nil only when verdict.Delivered().
+// Following RFC 4303 the ICV is verified before the window is updated, so
+// forged traffic cannot move the window; replayed-but-authentic traffic is
+// then rejected by the window.
+func (i *InboundSA) Open(wire []byte) ([]byte, core.Verdict, error) {
+	if i.State() == LifetimeHard {
+		return nil, 0, ErrHardExpired
+	}
+	if len(wire) < headerLen+icvLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(wire))
+	}
+	spi, _ := ParseSPI(wire)
+	if spi != i.spi {
+		return nil, 0, fmt.Errorf("%w: packet SPI %#x, SA SPI %#x", ErrUnknownSPI, spi, i.spi)
+	}
+	lo, _ := ParseSeqLo(wire)
+	seq64 := uint64(lo)
+	if i.esn {
+		seq64 = seqwin.InferESN(i.replay.Edge(), lo, i.replay.W())
+	}
+	payload, err := open(i.keys, i.spi, seq64, wire)
+	if err != nil {
+		i.mu.Lock()
+		i.authFails++
+		i.mu.Unlock()
+		return nil, 0, err
+	}
+	verdict := i.replay.Admit(seq64)
+	i.mu.Lock()
+	i.bytes += uint64(len(wire))
+	i.packets++
+	if verdict == core.VerdictDuplicate || verdict == core.VerdictStale {
+		i.replays++
+	}
+	i.mu.Unlock()
+	if !verdict.Delivered() {
+		return nil, verdict, nil
+	}
+	return payload, verdict, nil
+}
+
+// State classifies the SA's lifetime position.
+func (i *InboundSA) State() LifetimeState {
+	i.mu.Lock()
+	bytes := i.bytes
+	born := i.born
+	i.mu.Unlock()
+	return lifetimeState(i.life, bytes, i.now()-born)
+}
+
+// Counters returns (bytes, packets, authFailures, replayDiscards).
+func (i *InboundSA) Counters() (bytes, packets, authFails, replays uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.bytes, i.packets, i.authFails, i.replays
+}
+
+func lifetimeState(l Lifetime, bytes uint64, age time.Duration) LifetimeState {
+	if l.HardBytes > 0 && bytes >= l.HardBytes {
+		return LifetimeHard
+	}
+	if l.HardTime > 0 && age >= l.HardTime {
+		return LifetimeHard
+	}
+	if l.SoftBytes > 0 && bytes >= l.SoftBytes {
+		return LifetimeSoft
+	}
+	if l.SoftTime > 0 && age >= l.SoftTime {
+		return LifetimeSoft
+	}
+	return LifetimeOK
+}
+
+func clockOrZero(f func() time.Duration) func() time.Duration {
+	if f == nil {
+		return func() time.Duration { return 0 }
+	}
+	return f
+}

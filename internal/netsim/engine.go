@@ -1,0 +1,125 @@
+// Package netsim is a deterministic discrete-event network simulator: a
+// virtual clock with an event queue, and point-to-point links that apply
+// configurable latency, jitter, loss, duplication, and reordering.
+//
+// Determinism: all randomness flows from a single seeded source owned by the
+// Engine, and simultaneous events fire in scheduling order, so a simulation
+// with the same seed and inputs replays identically. This is what lets the
+// experiment harness regenerate the paper's figures bit-for-bit.
+//
+// The engine is single-goroutine by design (callers drive it with Run/Step);
+// the live-goroutine execution mode of the protocol lives in the endpoints,
+// not here.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event scheduler over a virtual clock.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	nextID uint64
+	rng    *rand.Rand
+}
+
+// NewEngine returns an engine whose randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at virtual time t. Times in the past run at the
+// current time (still after already-queued events for that instant).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.nextID++
+	heap.Push(&e.events, &event{at: t, id: e.nextID, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty. Protocols that generate
+// unbounded traffic must bound themselves (see RunUntil) or the call will
+// not return.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes all events within d from the current time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// event is one scheduled callback; id breaks ties so that events scheduled
+// for the same instant fire in scheduling order.
+type event struct {
+	at time.Duration
+	id uint64
+	fn func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,55 @@
+// Package resetinj schedules machine resets and wake-ups against protocol
+// endpoints running on the simulation engine. It drives the fault scenarios
+// of the paper's §3 (single reset of p or q, double reset of both) and §4's
+// "second consideration" (a second reset striking before the first post-wake
+// SAVE completes).
+package resetinj
+
+import (
+	"time"
+
+	"antireplay/internal/netsim"
+)
+
+// Endpoint is the crash interface protocol endpoints expose.
+//
+// Reset models the machine losing volatile state instantly. Wake models the
+// machine booting and starting the paper's wake-up action (FETCH, leap,
+// post-wake SAVE); the endpoint resumes service only after that SAVE
+// completes, which the endpoint itself arranges.
+type Endpoint interface {
+	Reset()
+	Wake()
+}
+
+// Schedule arranges one reset at down and the matching wake at up.
+// It panics if up < down (programmer error).
+func Schedule(e *netsim.Engine, ep Endpoint, down, up time.Duration) {
+	if up < down {
+		panic("resetinj: wake scheduled before reset")
+	}
+	e.At(down, ep.Reset)
+	e.At(up, ep.Wake)
+}
+
+// ScheduleDouble arranges the §4 "second consideration" scenario: a reset at
+// down1 with wake at up1, then a second reset at down2 (typically chosen to
+// land before the post-wake SAVE completes) with wake at up2.
+func ScheduleDouble(e *netsim.Engine, ep Endpoint, down1, up1, down2, up2 time.Duration) {
+	Schedule(e, ep, down1, up1)
+	Schedule(e, ep, down2, up2)
+}
+
+// SchedulePeriodic arranges resets every period, each lasting outage, until
+// horizon. It returns the number of reset/wake pairs scheduled.
+func SchedulePeriodic(e *netsim.Engine, ep Endpoint, period, outage, horizon time.Duration) int {
+	if period <= 0 {
+		panic("resetinj: period must be positive")
+	}
+	n := 0
+	for t := period; t+outage <= horizon; t += period {
+		Schedule(e, ep, t, t+outage)
+		n++
+	}
+	return n
+}

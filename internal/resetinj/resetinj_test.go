@@ -1,0 +1,99 @@
+package resetinj
+
+import (
+	"testing"
+	"time"
+
+	"antireplay/internal/netsim"
+)
+
+// recordingEndpoint logs reset/wake times.
+type recordingEndpoint struct {
+	e      *netsim.Engine
+	resets []time.Duration
+	wakes  []time.Duration
+}
+
+func (r *recordingEndpoint) Reset() { r.resets = append(r.resets, r.e.Now()) }
+func (r *recordingEndpoint) Wake()  { r.wakes = append(r.wakes, r.e.Now()) }
+
+func TestSchedule(t *testing.T) {
+	e := netsim.NewEngine(1)
+	ep := &recordingEndpoint{e: e}
+	Schedule(e, ep, 10*time.Millisecond, 25*time.Millisecond)
+	e.Run()
+	if len(ep.resets) != 1 || ep.resets[0] != 10*time.Millisecond {
+		t.Errorf("resets = %v", ep.resets)
+	}
+	if len(ep.wakes) != 1 || ep.wakes[0] != 25*time.Millisecond {
+		t.Errorf("wakes = %v", ep.wakes)
+	}
+}
+
+func TestSchedulePanicsOnBackwardWake(t *testing.T) {
+	e := netsim.NewEngine(1)
+	ep := &recordingEndpoint{e: e}
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule with up < down should panic")
+		}
+	}()
+	Schedule(e, ep, 10*time.Millisecond, 5*time.Millisecond)
+}
+
+func TestScheduleDouble(t *testing.T) {
+	e := netsim.NewEngine(1)
+	ep := &recordingEndpoint{e: e}
+	ScheduleDouble(e, ep,
+		10*time.Millisecond, 20*time.Millisecond,
+		22*time.Millisecond, 40*time.Millisecond)
+	e.Run()
+	if len(ep.resets) != 2 || len(ep.wakes) != 2 {
+		t.Fatalf("resets %v wakes %v, want 2+2", ep.resets, ep.wakes)
+	}
+	if ep.resets[1] != 22*time.Millisecond || ep.wakes[1] != 40*time.Millisecond {
+		t.Errorf("second pair = %v/%v", ep.resets[1], ep.wakes[1])
+	}
+}
+
+func TestSchedulePeriodic(t *testing.T) {
+	e := netsim.NewEngine(1)
+	ep := &recordingEndpoint{e: e}
+	n := SchedulePeriodic(e, ep, 10*time.Millisecond, 2*time.Millisecond, 50*time.Millisecond)
+	e.Run()
+	if n != 4 {
+		t.Fatalf("scheduled %d pairs, want 4 (at 10,20,30,40ms)", n)
+	}
+	if len(ep.resets) != 4 || len(ep.wakes) != 4 {
+		t.Fatalf("resets %d wakes %d, want 4+4", len(ep.resets), len(ep.wakes))
+	}
+	for i, at := range ep.resets {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if at != want {
+			t.Errorf("reset %d at %v, want %v", i, at, want)
+		}
+		if ep.wakes[i] != want+2*time.Millisecond {
+			t.Errorf("wake %d at %v, want %v", i, ep.wakes[i], want+2*time.Millisecond)
+		}
+	}
+}
+
+func TestSchedulePeriodicPanicsOnZeroPeriod(t *testing.T) {
+	e := netsim.NewEngine(1)
+	ep := &recordingEndpoint{e: e}
+	defer func() {
+		if recover() == nil {
+			t.Error("SchedulePeriodic with period 0 should panic")
+		}
+	}()
+	SchedulePeriodic(e, ep, 0, time.Millisecond, time.Second)
+}
+
+func TestSchedulePeriodicNoneFit(t *testing.T) {
+	e := netsim.NewEngine(1)
+	ep := &recordingEndpoint{e: e}
+	n := SchedulePeriodic(e, ep, time.Second, time.Second, 500*time.Millisecond)
+	if n != 0 {
+		t.Errorf("scheduled %d, want 0", n)
+	}
+}

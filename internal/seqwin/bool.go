@@ -1,0 +1,99 @@
+package seqwin
+
+import "fmt"
+
+// Bool is the paper's anti-replay window: an array of w booleans plus the
+// right edge r, transliterated from the Abstract Protocol Notation of
+// process q (§2). The array is 1-indexed as in the paper (index 0 unused):
+// wdw[i] is true iff the message with sequence number r-w+i has been
+// received, for 1 <= i <= w.
+//
+// The transliteration preserves the paper's exact slide loops, including
+// their subtlety: a slide never assigns wdw[w], so the right-edge cell keeps
+// the value it had at initialization (true), which is precisely what makes a
+// replay of the just-delivered right-edge message a duplicate.
+type Bool struct {
+	wdw []bool // 1-indexed: wdw[1..w]
+	r   uint64
+}
+
+var _ Window = (*Bool)(nil)
+
+// NewBool returns the paper's window of width w with its §2 initial state:
+// every entry true and right edge 0. It panics if w < 1 (programmer error).
+func NewBool(w int) *Bool {
+	if w < 1 {
+		panic(fmt.Sprintf("seqwin: window width %d < 1", w))
+	}
+	b := &Bool{wdw: make([]bool, w+1)}
+	b.Reinit(0, true)
+	return b
+}
+
+// Admit implements the receive action of process q.
+func (b *Bool) Admit(s uint64) Decision {
+	w := uint64(len(b.wdw) - 1)
+	switch {
+	case staleBelow(s, b.r, int(w)):
+		// paper: s <= r-w -> skip
+		return DecisionStale
+	case s <= b.r:
+		// paper: r-w < s <= r
+		i := s - b.r + w // s-r+w, guaranteed in [1, w]
+		if b.wdw[i] {
+			return DecisionDuplicate
+		}
+		b.wdw[i] = true
+		return DecisionInWindow
+	default:
+		// paper: r < s. Slide:
+		//   r, i, j := s, s-r+1, 1
+		//   do i <= w -> wdw[j], i, j := wdw[i], i+1, j+1 od
+		//   do j < w  -> wdw[j], j := false, j+1 od
+		i := s - b.r + 1
+		j := uint64(1)
+		b.r = s
+		for i <= w {
+			b.wdw[j] = b.wdw[i]
+			i++
+			j++
+		}
+		for j < w {
+			b.wdw[j] = false
+			j++
+		}
+		// wdw[w] is intentionally not assigned (paper invariant).
+		return DecisionNew
+	}
+}
+
+// Edge returns the right edge r.
+func (b *Bool) Edge() uint64 { return b.r }
+
+// W returns the window width.
+func (b *Bool) W() int { return len(b.wdw) - 1 }
+
+// Seen reports whether s is marked received. Numbers above the edge are
+// unseen; numbers at or below the left edge are reported seen (the window
+// cannot discriminate there and treats them as received).
+func (b *Bool) Seen(s uint64) bool {
+	w := uint64(len(b.wdw) - 1)
+	if staleBelow(s, b.r, int(w)) {
+		return true
+	}
+	if s > b.r {
+		return false
+	}
+	return b.wdw[s-b.r+w]
+}
+
+// Reinit reinstalls the window at edge. With allSeen the entire array is set
+// true (the paper's post-wake action in §4); otherwise it is cleared (the
+// baseline's cold restart in §3, which deliberately breaks the right-edge
+// invariant, as the paper's analysis of the unprotected protocol assumes).
+func (b *Bool) Reinit(edge uint64, allSeen bool) {
+	b.r = edge
+	for i := 1; i < len(b.wdw); i++ {
+		b.wdw[i] = allSeen
+	}
+}

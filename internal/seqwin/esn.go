@@ -1,0 +1,50 @@
+package seqwin
+
+// InferESN reconstructs a 64-bit extended sequence number from the 32 bits
+// carried on the wire, following the RFC 4303 Appendix A2 procedure.
+//
+// edge is the receiver's 64-bit right edge (highest authenticated sequence
+// number so far), lo the 32-bit wire value, and w the anti-replay window
+// width. Writing Th/Tl for the high/low halves of edge:
+//
+//   - If Tl >= w-1 the window lies within one 2^32 subspace: lo at or above
+//     the window's low end belongs to subspace Th, anything below it is
+//     interpreted as the next subspace (Th+1).
+//   - Otherwise the window straddles a subspace boundary: small lo (<= Tl,
+//     or in the gap above Tl but below the wrapped low end) belongs to Th,
+//     while lo at or above the wrapped low end belongs to Th-1.
+//
+// The inference alone does not authenticate: the caller must verify the
+// packet's ICV computed over the inferred high half before trusting the
+// result, exactly as RFC 4303 prescribes. When edge straddles nothing yet
+// (Th == 0) the "previous subspace" interpretation is clamped to subspace 0.
+func InferESN(edge uint64, lo uint32, w int) uint64 {
+	th := uint32(edge >> 32)
+	tl := uint32(edge)
+	ww := uint32(w)
+
+	var hi uint32
+	if tl >= ww-1 {
+		if lo >= tl-ww+1 {
+			hi = th
+		} else {
+			hi = th + 1
+		}
+	} else {
+		// tl - ww + 1 wraps: the window's low end lies in subspace th-1.
+		wrappedLow := tl - ww + 1
+		switch {
+		case lo <= tl:
+			hi = th
+		case lo >= wrappedLow:
+			if th == 0 {
+				hi = 0 // no previous subspace exists; ICV check will reject
+			} else {
+				hi = th - 1
+			}
+		default:
+			hi = th
+		}
+	}
+	return uint64(hi)<<32 | uint64(lo)
+}

@@ -1,0 +1,67 @@
+package seqwin
+
+// Fixed64 is the classic single-word anti-replay window of RFC 4303 with a
+// fixed width of 64: bit i of the mask records whether sequence number
+// edge-i has been received.
+type Fixed64 struct {
+	r    uint64
+	bits uint64
+}
+
+var _ Window = (*Fixed64)(nil)
+
+// Fixed64Width is the window width of a Fixed64.
+const Fixed64Width = 64
+
+// NewFixed64 returns an empty 64-wide window with edge 0.
+func NewFixed64() *Fixed64 { return &Fixed64{} }
+
+// Admit decides and records sequence number s.
+func (f *Fixed64) Admit(s uint64) Decision {
+	if staleBelow(s, f.r, Fixed64Width) {
+		return DecisionStale
+	}
+	if s > f.r {
+		shift := s - f.r
+		if shift >= 64 {
+			f.bits = 1 // only the new edge
+		} else {
+			f.bits = f.bits<<shift | 1
+		}
+		f.r = s
+		return DecisionNew
+	}
+	mask := uint64(1) << (f.r - s)
+	if f.bits&mask != 0 {
+		return DecisionDuplicate
+	}
+	f.bits |= mask
+	return DecisionInWindow
+}
+
+// Edge returns the right edge.
+func (f *Fixed64) Edge() uint64 { return f.r }
+
+// W returns 64.
+func (f *Fixed64) W() int { return Fixed64Width }
+
+// Seen reports whether s is marked received, mirroring Bool.Seen.
+func (f *Fixed64) Seen(s uint64) bool {
+	if staleBelow(s, f.r, Fixed64Width) {
+		return true
+	}
+	if s > f.r {
+		return false
+	}
+	return f.bits&(uint64(1)<<(f.r-s)) != 0
+}
+
+// Reinit reinstalls the window at edge, full or empty.
+func (f *Fixed64) Reinit(edge uint64, allSeen bool) {
+	f.r = edge
+	if allSeen {
+		f.bits = ^uint64(0)
+	} else {
+		f.bits = 0
+	}
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"sync"
+)
+
+// Faulty wraps a Store and injects failures for testing the protocol's
+// behaviour under storage faults:
+//
+//   - FailSaves(n): the next n Save calls return ErrInjected without
+//     persisting (an I/O error the caller observes).
+//   - LoseSaves(n): the next n Save calls report success without persisting.
+//     This models a medium that acknowledges before the data is durable
+//     (e.g. no fsync) and deliberately violates the paper's persistent-
+//     memory assumption — used by ablation tests to show which guarantee
+//     breaks.
+//   - CorruptFetches(n): the next n Fetch calls return ErrCorrupt.
+//
+// Faulty is safe for concurrent use.
+type Faulty struct {
+	mu             sync.Mutex
+	inner          Store
+	failSaves      int
+	loseSaves      int
+	corruptFetches int
+	saves          uint64
+	lostSaves      uint64
+}
+
+var _ Store = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{inner: inner}
+}
+
+// FailSaves arranges for the next n Save calls to return ErrInjected.
+func (f *Faulty) FailSaves(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSaves = n
+}
+
+// LoseSaves arranges for the next n Save calls to silently not persist.
+func (f *Faulty) LoseSaves(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loseSaves = n
+}
+
+// CorruptFetches arranges for the next n Fetch calls to return ErrCorrupt.
+func (f *Faulty) CorruptFetches(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corruptFetches = n
+}
+
+// Save persists v unless a fault is armed.
+func (f *Faulty) Save(v uint64) error {
+	f.mu.Lock()
+	if f.failSaves > 0 {
+		f.failSaves--
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	if f.loseSaves > 0 {
+		f.loseSaves--
+		f.lostSaves++
+		f.mu.Unlock()
+		return nil
+	}
+	f.saves++
+	f.mu.Unlock()
+	return f.inner.Save(v)
+}
+
+// Fetch reads the persisted value unless a corruption fault is armed.
+func (f *Faulty) Fetch() (uint64, bool, error) {
+	f.mu.Lock()
+	if f.corruptFetches > 0 {
+		f.corruptFetches--
+		f.mu.Unlock()
+		return 0, false, ErrInjected
+	}
+	f.mu.Unlock()
+	return f.inner.Fetch()
+}
+
+// LostSaves reports how many saves were silently dropped so far.
+func (f *Faulty) LostSaves() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lostSaves
+}

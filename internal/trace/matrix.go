@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Truth is the ground-truth provenance of a message, known to the harness
+// (not to the receiver): either a fresh transmission from the sender or a
+// copy replayed by the adversary or duplicated by the network.
+type Truth uint8
+
+// Truth values.
+const (
+	// TruthFresh marks an original transmission.
+	TruthFresh Truth = iota + 1
+	// TruthReplay marks an adversarial replay or network duplicate.
+	TruthReplay
+
+	truthMax
+)
+
+// String returns "fresh" or "replay".
+func (t Truth) String() string {
+	switch t {
+	case TruthFresh:
+		return "fresh"
+	case TruthReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("truth(%d)", uint8(t))
+	}
+}
+
+// Verdict is the receiver's decision about a message it observed.
+type Verdict uint8
+
+// Verdict values.
+const (
+	// VerdictDelivered means the message was passed to the application.
+	VerdictDelivered Verdict = iota + 1
+	// VerdictDiscarded means the message was rejected (stale or duplicate).
+	VerdictDiscarded
+	// VerdictUnobserved means the message never reached the receiver's
+	// protocol logic (lost in the network or arrived while the node was down).
+	VerdictUnobserved
+
+	verdictMax
+)
+
+// String returns the lower-case name of the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDelivered:
+		return "delivered"
+	case VerdictDiscarded:
+		return "discarded"
+	case VerdictUnobserved:
+		return "unobserved"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Matrix is a confusion matrix between message ground truth and receiver
+// verdict. The safety property of the paper's protocol is
+// Get(TruthReplay, VerdictDelivered) == 0; the liveness/efficiency
+// properties bound Get(TruthFresh, VerdictDiscarded).
+//
+// The zero value is ready to use. A nil *Matrix is a valid no-op recorder.
+type Matrix struct {
+	mu sync.Mutex
+	n  [truthMax][verdictMax]uint64
+}
+
+// Add records one (truth, verdict) observation. Invalid values are ignored.
+func (m *Matrix) Add(t Truth, v Verdict) {
+	if m == nil || t == 0 || t >= truthMax || v == 0 || v >= verdictMax {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n[t][v]++
+}
+
+// Get returns the count for cell (t, v).
+func (m *Matrix) Get(t Truth, v Verdict) uint64 {
+	if m == nil || t == 0 || t >= truthMax || v == 0 || v >= verdictMax {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n[t][v]
+}
+
+// FreshDelivered returns the count of fresh messages delivered.
+func (m *Matrix) FreshDelivered() uint64 { return m.Get(TruthFresh, VerdictDelivered) }
+
+// FreshDiscarded returns the count of fresh messages wrongly discarded.
+// The paper bounds this by 2*Kq after a receiver reset.
+func (m *Matrix) FreshDiscarded() uint64 { return m.Get(TruthFresh, VerdictDiscarded) }
+
+// ReplayAccepted returns the count of replayed messages delivered.
+// This is the safety violation; it must be zero under the paper's protocol.
+func (m *Matrix) ReplayAccepted() uint64 { return m.Get(TruthReplay, VerdictDelivered) }
+
+// ReplayDiscarded returns the count of replayed messages correctly rejected.
+func (m *Matrix) ReplayDiscarded() uint64 { return m.Get(TruthReplay, VerdictDiscarded) }
+
+// Reset zeroes the matrix.
+func (m *Matrix) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n = [truthMax][verdictMax]uint64{}
+}
+
+// String summarizes the matrix on one line.
+func (m *Matrix) String() string {
+	if m == nil {
+		return "trace.Matrix(nil)"
+	}
+	return fmt.Sprintf(
+		"fresh{delivered:%d discarded:%d unobserved:%d} replay{accepted:%d discarded:%d unobserved:%d}",
+		m.Get(TruthFresh, VerdictDelivered),
+		m.Get(TruthFresh, VerdictDiscarded),
+		m.Get(TruthFresh, VerdictUnobserved),
+		m.Get(TruthReplay, VerdictDelivered),
+		m.Get(TruthReplay, VerdictDiscarded),
+		m.Get(TruthReplay, VerdictUnobserved),
+	)
+}

@@ -1,0 +1,285 @@
+// Package trace provides classified event recording and outcome counters
+// for protocol simulations, experiments, and tests.
+//
+// A Collector accumulates per-kind counters and (optionally) a bounded ring
+// of recent events. A Matrix tracks the receiver's confusion matrix between
+// ground truth (fresh vs. replayed message) and verdict (delivered vs.
+// discarded); the cell (TruthReplay, VerdictDelivered) is the safety
+// violation the paper's protocol is designed to keep at zero.
+//
+// All types are safe for concurrent use. A nil *Collector and a nil *Matrix
+// are valid no-op recorders, so instrumented code never needs nil checks.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies a protocol event.
+type Kind uint8
+
+// Event kinds. KindDeliver through KindDiscardDown are receiver verdicts;
+// the Save/Fetch kinds instrument the persistence operations the paper adds.
+const (
+	// KindSend records a fresh message leaving the sender.
+	KindSend Kind = iota + 1
+	// KindDeliver records a message delivered to the application.
+	KindDeliver
+	// KindDiscardStale records a discard because the sequence number lies
+	// below the anti-replay window (paper: s <= r-w).
+	KindDiscardStale
+	// KindDiscardDup records a discard because the window already marks the
+	// sequence number as seen.
+	KindDiscardDup
+	// KindDiscardDown records a message that arrived while the node was down
+	// (between reset and wake-up) and was therefore never observed.
+	KindDiscardDown
+	// KindDiscardHorizon records a discard by the strict durable horizon: a
+	// sequence number at or beyond committed+leap, whose delivery before
+	// the in-flight save commits could repeat after a reset.
+	KindDiscardHorizon
+	// KindBuffered records a message buffered during the post-wake SAVE.
+	KindBuffered
+	// KindBufferOverflow records a message dropped because the post-wake
+	// buffer was full.
+	KindBufferOverflow
+	// KindSaveStart records the start of a background SAVE.
+	KindSaveStart
+	// KindSaveDone records the durable completion of a SAVE.
+	KindSaveDone
+	// KindSaveError records a failed SAVE.
+	KindSaveError
+	// KindFetch records a FETCH of the persisted sequence number.
+	KindFetch
+	// KindReset records a crash of the node.
+	KindReset
+	// KindWake records the node starting its wake-up sequence.
+	KindWake
+	// KindWakeDone records the node completing wake-up (post-wake SAVE done).
+	KindWakeDone
+	// KindInject records an adversary injecting a replayed message.
+	KindInject
+	// KindLoss records a message dropped by the network.
+	KindLoss
+	// KindDup records a message duplicated by the network.
+	KindDup
+	// KindReorder records a message delayed so that later traffic overtakes it.
+	KindReorder
+
+	kindMax // sentinel; keep last
+)
+
+var kindNames = [...]string{
+	KindSend:           "send",
+	KindDeliver:        "deliver",
+	KindDiscardStale:   "discard-stale",
+	KindDiscardDup:     "discard-dup",
+	KindDiscardDown:    "discard-down",
+	KindDiscardHorizon: "discard-horizon",
+	KindBuffered:       "buffered",
+	KindBufferOverflow: "buffer-overflow",
+	KindSaveStart:      "save-start",
+	KindSaveDone:       "save-done",
+	KindSaveError:      "save-error",
+	KindFetch:          "fetch",
+	KindReset:          "reset",
+	KindWake:           "wake",
+	KindWakeDone:       "wake-done",
+	KindInject:         "inject",
+	KindLoss:           "loss",
+	KindDup:            "dup",
+	KindReorder:        "reorder",
+}
+
+// String returns the lower-case hyphenated name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Kinds returns all defined kinds in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, int(kindMax)-1)
+	for k := Kind(1); k < kindMax; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Event is a single recorded protocol event.
+type Event struct {
+	// At is the (virtual or wall-clock) time of the event.
+	At time.Duration
+	// Kind classifies the event.
+	Kind Kind
+	// Node names the endpoint the event occurred at (e.g. "p", "q").
+	Node string
+	// Seq is the sequence number involved, if any.
+	Seq uint64
+	// Note carries free-form detail.
+	Note string
+}
+
+// Collector accumulates per-kind counters and an optional bounded ring of
+// recent events. The zero value counts events but retains none.
+type Collector struct {
+	mu     sync.Mutex
+	counts [kindMax]uint64
+	ring   []Event
+	next   int
+	wrap   bool
+}
+
+// NewCollector returns a Collector retaining up to ringCap recent events.
+// ringCap <= 0 retains none (counters only).
+func NewCollector(ringCap int) *Collector {
+	c := &Collector{}
+	if ringCap > 0 {
+		c.ring = make([]Event, ringCap)
+	}
+	return c
+}
+
+// Record registers ev. Record on a nil Collector is a no-op.
+func (c *Collector) Record(ev Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.Kind > 0 && ev.Kind < kindMax {
+		c.counts[ev.Kind]++
+	}
+	if len(c.ring) > 0 {
+		c.ring[c.next] = ev
+		c.next++
+		if c.next == len(c.ring) {
+			c.next = 0
+			c.wrap = true
+		}
+	}
+}
+
+// Count returns the number of events recorded with kind k.
+func (c *Collector) Count(k Kind) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k == 0 || k >= kindMax {
+		return 0
+	}
+	return c.counts[k]
+}
+
+// Total returns the number of events recorded across all kinds.
+func (c *Collector) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// Events returns the retained events in chronological order of recording.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ring) == 0 {
+		return nil
+	}
+	var out []Event
+	if c.wrap {
+		out = make([]Event, 0, len(c.ring))
+		out = append(out, c.ring[c.next:]...)
+		out = append(out, c.ring[:c.next]...)
+	} else {
+		out = make([]Event, c.next)
+		copy(out, c.ring[:c.next])
+	}
+	return out
+}
+
+// Reset clears all counters and retained events.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = [kindMax]uint64{}
+	c.next = 0
+	c.wrap = false
+	for i := range c.ring {
+		c.ring[i] = Event{}
+	}
+}
+
+// Snapshot returns a copy of all non-zero counters keyed by kind.
+func (c *Collector) Snapshot() map[Kind]uint64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[Kind]uint64)
+	for k := Kind(1); k < kindMax; k++ {
+		if n := c.counts[k]; n > 0 {
+			m[k] = n
+		}
+	}
+	return m
+}
+
+// WriteCSV writes the retained events as CSV rows
+// (at_ns,kind,node,seq,note) preceded by a header row.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "at_ns,kind,node,seq,note\n"); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	for _, ev := range c.Events() {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s\n",
+			ev.At.Nanoseconds(), ev.Kind, ev.Node, ev.Seq, csvEscape(ev.Note))
+		if err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	needsQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			needsQuote = true
+		}
+	}
+	if !needsQuote {
+		return s
+	}
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '"', '"')
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(append(out, '"'))
+}

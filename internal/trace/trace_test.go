@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector(0)
+	for i := 0; i < 5; i++ {
+		c.Record(Event{Kind: KindSend, Seq: uint64(i)})
+	}
+	c.Record(Event{Kind: KindDeliver, Seq: 1})
+	c.Record(Event{Kind: KindDiscardDup, Seq: 1})
+
+	if got := c.Count(KindSend); got != 5 {
+		t.Errorf("Count(KindSend) = %d, want 5", got)
+	}
+	if got := c.Count(KindDeliver); got != 1 {
+		t.Errorf("Count(KindDeliver) = %d, want 1", got)
+	}
+	if got := c.Count(KindReset); got != 0 {
+		t.Errorf("Count(KindReset) = %d, want 0", got)
+	}
+	if got := c.Total(); got != 7 {
+		t.Errorf("Total() = %d, want 7", got)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Record(Event{Kind: KindSend}) // must not panic
+	if got := c.Count(KindSend); got != 0 {
+		t.Errorf("nil Count = %d, want 0", got)
+	}
+	if got := c.Total(); got != 0 {
+		t.Errorf("nil Total = %d, want 0", got)
+	}
+	if got := c.Events(); got != nil {
+		t.Errorf("nil Events = %v, want nil", got)
+	}
+	if got := c.Snapshot(); got != nil {
+		t.Errorf("nil Snapshot = %v, want nil", got)
+	}
+	c.Reset() // must not panic
+}
+
+func TestCollectorRingOrder(t *testing.T) {
+	c := NewCollector(3)
+	for i := 1; i <= 5; i++ {
+		c.Record(Event{Kind: KindSend, Seq: uint64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(evs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Seq != want {
+			t.Errorf("Events()[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+}
+
+func TestCollectorRingPartial(t *testing.T) {
+	c := NewCollector(10)
+	c.Record(Event{Kind: KindSend, Seq: 1})
+	c.Record(Event{Kind: KindSend, Seq: 2})
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len(Events) = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("Events() seqs = %d,%d, want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(4)
+	c.Record(Event{Kind: KindSend})
+	c.Reset()
+	if c.Total() != 0 {
+		t.Errorf("Total after Reset = %d, want 0", c.Total())
+	}
+	if len(c.Events()) != 0 {
+		t.Errorf("Events after Reset = %v, want empty", c.Events())
+	}
+}
+
+func TestCollectorSnapshot(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(Event{Kind: KindSend})
+	c.Record(Event{Kind: KindSend})
+	c.Record(Event{Kind: KindLoss})
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("len(Snapshot) = %d, want 2", len(snap))
+	}
+	if snap[KindSend] != 2 || snap[KindLoss] != 1 {
+		t.Errorf("Snapshot = %v, want send:2 loss:1", snap)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(16)
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Record(Event{Kind: KindSend, Seq: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Count(KindSend); got != goroutines*perG {
+		t.Errorf("Count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindSend, "send"},
+		{KindDiscardStale, "discard-stale"},
+		{KindWakeDone, "wake-done"},
+		{Kind(0), "kind(0)"},
+		{Kind(200), "kind(200)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestKindsAllNamed(t *testing.T) {
+	for _, k := range Kinds() {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := NewCollector(8)
+	c.Record(Event{At: 5 * time.Microsecond, Kind: KindSend, Node: "p", Seq: 7})
+	c.Record(Event{At: 9 * time.Microsecond, Kind: KindDeliver, Node: "q", Seq: 7, Note: `says "hi", ok`})
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := sb.String()
+	want := "at_ns,kind,node,seq,note\n" +
+		"5000,send,p,7,\n" +
+		"9000,deliver,q,7,\"says \"\"hi\"\", ok\"\n"
+	if got != want {
+		t.Errorf("WriteCSV:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	var m Matrix
+	m.Add(TruthFresh, VerdictDelivered)
+	m.Add(TruthFresh, VerdictDelivered)
+	m.Add(TruthFresh, VerdictDiscarded)
+	m.Add(TruthReplay, VerdictDiscarded)
+	m.Add(TruthReplay, VerdictDelivered)
+
+	if got := m.FreshDelivered(); got != 2 {
+		t.Errorf("FreshDelivered = %d, want 2", got)
+	}
+	if got := m.FreshDiscarded(); got != 1 {
+		t.Errorf("FreshDiscarded = %d, want 1", got)
+	}
+	if got := m.ReplayAccepted(); got != 1 {
+		t.Errorf("ReplayAccepted = %d, want 1", got)
+	}
+	if got := m.ReplayDiscarded(); got != 1 {
+		t.Errorf("ReplayDiscarded = %d, want 1", got)
+	}
+
+	m.Reset()
+	if got := m.ReplayAccepted(); got != 0 {
+		t.Errorf("after Reset, ReplayAccepted = %d, want 0", got)
+	}
+}
+
+func TestMatrixIgnoresInvalid(t *testing.T) {
+	var m Matrix
+	m.Add(Truth(0), VerdictDelivered)
+	m.Add(TruthFresh, Verdict(0))
+	m.Add(Truth(99), Verdict(99))
+	if got := m.Get(TruthFresh, VerdictDelivered); got != 0 {
+		t.Errorf("Get = %d, want 0", got)
+	}
+	if got := m.Get(Truth(99), Verdict(99)); got != 0 {
+		t.Errorf("Get(invalid) = %d, want 0", got)
+	}
+}
+
+func TestMatrixNilSafe(t *testing.T) {
+	var m *Matrix
+	m.Add(TruthFresh, VerdictDelivered)
+	if got := m.ReplayAccepted(); got != 0 {
+		t.Errorf("nil ReplayAccepted = %d, want 0", got)
+	}
+	if got := m.String(); got != "trace.Matrix(nil)" {
+		t.Errorf("nil String = %q", got)
+	}
+	m.Reset()
+}
+
+func TestMatrixString(t *testing.T) {
+	var m Matrix
+	m.Add(TruthFresh, VerdictDelivered)
+	m.Add(TruthReplay, VerdictUnobserved)
+	s := m.String()
+	if !strings.Contains(s, "delivered:1") || !strings.Contains(s, "unobserved:1") {
+		t.Errorf("String() = %q, missing expected cells", s)
+	}
+}
+
+func TestTruthVerdictStrings(t *testing.T) {
+	if TruthFresh.String() != "fresh" || TruthReplay.String() != "replay" {
+		t.Error("Truth.String mismatch")
+	}
+	if VerdictDelivered.String() != "delivered" ||
+		VerdictDiscarded.String() != "discarded" ||
+		VerdictUnobserved.String() != "unobserved" {
+		t.Error("Verdict.String mismatch")
+	}
+	if !strings.HasPrefix(Truth(9).String(), "truth(") {
+		t.Error("invalid Truth should format as truth(n)")
+	}
+	if !strings.HasPrefix(Verdict(9).String(), "verdict(") {
+		t.Error("invalid Verdict should format as verdict(n)")
+	}
+}
+
+func TestMatrixConcurrent(t *testing.T) {
+	var m Matrix
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Add(TruthFresh, VerdictDelivered)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.FreshDelivered(); got != 4000 {
+		t.Errorf("FreshDelivered = %d, want 4000", got)
+	}
+}

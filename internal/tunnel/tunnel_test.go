@@ -1,0 +1,401 @@
+package tunnel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"antireplay/internal/core"
+	"antireplay/internal/dpd"
+	"antireplay/internal/ike"
+	"antireplay/internal/ipsec"
+	"antireplay/internal/netsim"
+	"antireplay/internal/store"
+)
+
+func ikeCfg(seed int64, id string) ike.Config {
+	return ike.Config{
+		PSK:   []byte("tunnel-test-psk"),
+		Rand:  rand.New(rand.NewSource(seed)),
+		Group: ike.TestGroup(),
+		ID:    id,
+	}
+}
+
+func directPair(t *testing.T, aCfg, bCfg Config) (*Peer, *Peer) {
+	t.Helper()
+	a, b, err := Pair(aCfg, bCfg, ikeCfg(1, "a"), ikeCfg(2, "b"), nil, nil)
+	if err != nil {
+		t.Fatalf("Pair: %v", err)
+	}
+	return a, b
+}
+
+func TestPairDataFlow(t *testing.T) {
+	var got []string
+	a, b := directPair(t,
+		Config{Name: "a", K: 25},
+		Config{Name: "b", K: 25, OnData: func(p []byte) { got = append(got, string(p)) }},
+	)
+	_ = b
+	for i := 0; i < 5; i++ {
+		if err := a.Send([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if len(got) != 5 || got[0] != "msg-0" || got[4] != "msg-4" {
+		t.Errorf("got = %v", got)
+	}
+}
+
+func TestPairBidirectional(t *testing.T) {
+	var fromA, fromB []string
+	a, b := directPair(t,
+		Config{Name: "a", K: 25, OnData: func(p []byte) { fromB = append(fromB, string(p)) }},
+		Config{Name: "b", K: 25, OnData: func(p []byte) { fromA = append(fromA, string(p)) }},
+	)
+	if err := a.Send([]byte("east->west")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send([]byte("west->east")); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromA) != 1 || fromA[0] != "east->west" {
+		t.Errorf("fromA = %v", fromA)
+	}
+	if len(fromB) != 1 || fromB[0] != "west->east" {
+		t.Errorf("fromB = %v", fromB)
+	}
+}
+
+func TestSendWithoutTransport(t *testing.T) {
+	p, err := New(Config{Name: "solo", K: 25}, 1, testKeys(), 2, testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send([]byte("x")); !errors.Is(err, ErrNoTransport) {
+		t.Errorf("Send = %v, want ErrNoTransport", err)
+	}
+}
+
+func testKeys() ipsec.KeyMaterial {
+	k := ipsec.KeyMaterial{AuthKey: make([]byte, ipsec.AuthKeySize)}
+	for i := range k.AuthKey {
+		k.AuthKey[i] = byte(i + 1)
+	}
+	return k
+}
+
+func TestHostResetWakeResync(t *testing.T) {
+	// Full §6 cycle at the host level: b resets, a's monitor declares it
+	// dead, b wakes and the automatic resync revives the association.
+	engine := netsim.NewEngine(3)
+	var monitor *dpd.Monitor
+
+	var delivered []string
+	aCfg := Config{Name: "a", K: 25, OnData: func(p []byte) { delivered = append(delivered, string(p)) }}
+	bCfg := Config{Name: "b", K: 25}
+	a, b, err := Pair(aCfg, bCfg, ikeCfg(5, "a"), ikeCfg(6, "b"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	monitor, err = dpd.NewMonitor(dpd.Config{
+		Engine:      engine,
+		IdleTimeout: 10 * time.Second,
+		AckTimeout:  2 * time.Second,
+		MaxProbes:   2,
+		HoldTime:    time.Minute,
+		SendProbe: func(seq uint64) {
+			// a probes through the tunnel; a dead b will not answer.
+			wire, err := a.Outbound().Seal(dpd.ProbePayload(seq))
+			if err != nil {
+				return
+			}
+			b.Receive(wire) //nolint:errcheck // dead peers drop traffic
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire a's monitor into its receive path.
+	a.cfg.Monitor = monitor
+
+	// Normal traffic keeps the monitor alive.
+	if err := b.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if monitor.State() != dpd.StateAlive {
+		t.Fatalf("monitor = %v, want alive", monitor.State())
+	}
+
+	// b crashes; the monitor probes and declares it dead.
+	b.Reset()
+	engine.RunUntil(20 * time.Second)
+	if monitor.State() != dpd.StateDead {
+		t.Fatalf("monitor = %v, want dead", monitor.State())
+	}
+
+	// An adversary replaying b's old packet cannot revive the association:
+	// replay the recorded "hello" wire bytes... (the Receive path only
+	// notes life on *delivered* traffic). Build the replay from a fresh
+	// capture instead: b.Send recorded nothing, so synthesize by sealing
+	// before the reset — covered in TestReplayCannotRevive below.
+
+	// b wakes: both halves recover and the resync flows automatically.
+	if err := b.Wake(); err != nil {
+		t.Fatalf("Wake: %v", err)
+	}
+	if monitor.State() != dpd.StateAlive {
+		t.Fatalf("monitor = %v, want alive after resync", monitor.State())
+	}
+
+	// Traffic flows again (post-leap sequence numbers).
+	if err := b.Send([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 2 || delivered[1] != "back" {
+		t.Errorf("delivered = %v", delivered)
+	}
+}
+
+func TestReplayCannotRevive(t *testing.T) {
+	engine := netsim.NewEngine(4)
+	var captured []byte
+	aCfg := Config{Name: "a", K: 25}
+	bCfg := Config{Name: "b", K: 25}
+	// Capture b's traffic on the way to a.
+	a, b, err := Pair(aCfg, bCfg, ikeCfg(7, "a"), ikeCfg(8, "b"),
+		nil,
+		func(wire []byte, deliver func([]byte)) {
+			if captured == nil {
+				captured = append([]byte(nil), wire...)
+			}
+			deliver(wire)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := dpd.NewMonitor(dpd.Config{
+		Engine:      engine,
+		IdleTimeout: 10 * time.Second,
+		AckTimeout:  2 * time.Second,
+		MaxProbes:   2,
+		HoldTime:    time.Minute,
+		SendProbe:   func(uint64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.cfg.Monitor = monitor
+
+	if err := b.Send([]byte("pre-reset")); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("no capture")
+	}
+
+	b.Reset()
+	engine.RunUntil(20 * time.Second)
+	if monitor.State() != dpd.StateDead {
+		t.Fatalf("monitor = %v, want dead", monitor.State())
+	}
+
+	// The adversary replays b's old authentic packet directly into a.
+	v, err := a.Receive(captured)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if v.Delivered() {
+		t.Fatal("SAFETY: replayed packet delivered")
+	}
+	if monitor.State() != dpd.StateDead {
+		t.Fatal("SAFETY: replay revived a dead association")
+	}
+}
+
+func TestReceiveRejectsTamper(t *testing.T) {
+	a, b := directPair(t, Config{Name: "a", K: 25}, Config{Name: "b", K: 25})
+	_ = b
+	wire, err := a.Outbound().Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[len(wire)-1] ^= 1
+	if _, err := b.Receive(wire); !errors.Is(err, ipsec.ErrAuth) {
+		t.Errorf("Receive(tampered) = %v, want ErrAuth", err)
+	}
+}
+
+func TestProbeAutoAck(t *testing.T) {
+	engine := netsim.NewEngine(9)
+	aCfg := Config{Name: "a", K: 25}
+	bCfg := Config{Name: "b", K: 25}
+	a, _, err := Pair(aCfg, bCfg, ikeCfg(10, "a"), ikeCfg(11, "b"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := dpd.NewMonitor(dpd.Config{
+		Engine:      engine,
+		IdleTimeout: 10 * time.Second,
+		AckTimeout:  2 * time.Second,
+		MaxProbes:   3,
+		HoldTime:    time.Minute,
+		SendProbe: func(seq uint64) {
+			_ = a.Send(dpd.ProbePayload(seq)) // through the tunnel
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.cfg.Monitor = monitor
+
+	// No data traffic at all: probes fire, b auto-acks, the monitor keeps
+	// returning to alive and the association never dies.
+	engine.RunUntil(2 * time.Minute)
+	if monitor.State() == dpd.StateDead || monitor.State() == dpd.StateExpired {
+		t.Fatalf("monitor = %v; auto-ack should keep the peer alive", monitor.State())
+	}
+	probes, acks, deaths := monitor.Stats()
+	if probes == 0 || acks == 0 {
+		t.Errorf("probes=%d acks=%d, want both > 0", probes, acks)
+	}
+	if deaths != 0 {
+		t.Errorf("deaths = %d, want 0", deaths)
+	}
+}
+
+func TestRekeySwitchesGeneration(t *testing.T) {
+	var got []string
+	a, b := directPair(t,
+		Config{Name: "a", K: 25},
+		Config{Name: "b", K: 25, OnData: func(p []byte) { got = append(got, string(p)) }},
+	)
+	if err := a.Send([]byte("gen0")); err != nil {
+		t.Fatal(err)
+	}
+	oldOutSPI := a.Outbound().SPI()
+
+	// Capture an old-generation packet for a cross-generation replay.
+	oldWire, err := a.Outbound().Seal([]byte("old-generation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Rekey(a, b, ikeCfg(20, "a"), ikeCfg(21, "b")); err != nil {
+		t.Fatalf("Rekey: %v", err)
+	}
+	if a.Generation() != 1 || b.Generation() != 1 {
+		t.Errorf("generations = %d/%d, want 1/1", a.Generation(), b.Generation())
+	}
+	if a.Outbound().SPI() == oldOutSPI {
+		t.Error("rekey must change the SPI")
+	}
+
+	// Old-generation traffic fails outright: wrong SPI/keys.
+	if _, err := b.Receive(oldWire); err == nil {
+		t.Error("old-generation packet accepted after rekey")
+	}
+
+	// New-generation traffic flows, numbering restarted.
+	if err := a.Send([]byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != "gen1" {
+		t.Errorf("got = %v", got)
+	}
+	if bytes, packets := a.Outbound().Counters(); packets != 1 || bytes == 0 {
+		t.Errorf("new generation counters = (%d, %d), want fresh", bytes, packets)
+	}
+}
+
+func TestNeedsRekeyOnSoftLifetime(t *testing.T) {
+	a, b := directPair(t,
+		Config{Name: "a", K: 25, Lifetime: ipsec.Lifetime{SoftBytes: 64}},
+		Config{Name: "b", K: 25},
+	)
+	_ = b
+	if a.NeedsRekey() {
+		t.Fatal("fresh SA should not need rekey")
+	}
+	if err := a.Send(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.NeedsRekey() {
+		t.Error("soft-expired SA should need rekey")
+	}
+}
+
+func TestRekeyAfterResetKeepsSafety(t *testing.T) {
+	// Reset + wake + rekey in sequence: across all of it, b never delivers
+	// the same payload twice.
+	var got []string
+	a, b := directPair(t,
+		Config{Name: "a", K: 25},
+		Config{Name: "b", K: 25, OnData: func(p []byte) { got = append(got, string(p)) }},
+	)
+	for i := 0; i < 10; i++ {
+		if err := a.Send([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Reset()
+	if err := a.Wake(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send([]byte(fmt.Sprintf("mid-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Rekey(a, b, ikeCfg(30, "a"), ikeCfg(31, "b")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send([]byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Fatalf("payload %q delivered twice", s)
+		}
+		seen[s] = true
+	}
+	if len(got) != 30 {
+		t.Errorf("delivered %d, want 30", len(got))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, err := New(Config{Name: "x"}, 1, testKeys(), 2, testKeys())
+	if !errors.Is(err, core.ErrConfig) {
+		t.Errorf("New without K = %v, want ErrConfig", err)
+	}
+}
+
+// ghostStore accepts saves but never returns a value, modelling wiped
+// persistent memory.
+type ghostStore struct{}
+
+func (ghostStore) Save(uint64) error            { return nil }
+func (ghostStore) Fetch() (uint64, bool, error) { return 0, false, nil }
+
+func TestWakeErrorSurfaced(t *testing.T) {
+	p, err := New(Config{
+		Name:   "x",
+		K:      25,
+		Stores: func(uint32, string) store.Store { return ghostStore{} },
+	}, 1, testKeys(), 2, testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if err := p.Wake(); !errors.Is(err, core.ErrNoSavedState) {
+		t.Errorf("Wake = %v, want wrapped ErrNoSavedState", err)
+	}
+}
