@@ -46,6 +46,7 @@ const (
 	VerdictBuffered  = core.VerdictBuffered
 	VerdictOverflow  = core.VerdictOverflow
 	VerdictDown      = core.VerdictDown
+	VerdictHorizon   = core.VerdictHorizon
 )
 
 // Endpoint states.
@@ -66,6 +67,9 @@ var (
 	ErrWaking = core.ErrWaking
 	// ErrNoSavedState reports a FETCH that found nothing.
 	ErrNoSavedState = core.ErrNoSavedState
+	// ErrSaveLag reports a send refused at the strict durable horizon while
+	// a background save catches up; back off and retry.
+	ErrSaveLag = core.ErrSaveLag
 	// ErrConfig reports an invalid configuration.
 	ErrConfig = core.ErrConfig
 )

@@ -1,0 +1,157 @@
+package antireplay
+
+import (
+	"fmt"
+	"time"
+
+	"antireplay/internal/core"
+	"antireplay/internal/ipsec"
+	"antireplay/internal/store"
+)
+
+// Gateway-scale persistence types, re-exported from the implementation.
+type (
+	// Journal is a single append-only log multiplexing many SAs' durable
+	// counters, with group-committed fsyncs and crash recovery by replay.
+	Journal = store.Journal
+	// JournalOption configures a Journal.
+	JournalOption = store.JournalOption
+	// JournalCell is one key of a Journal viewed as a Store.
+	JournalCell = store.Cell
+	// SaverPool runs background SAVEs for many stores on bounded workers.
+	SaverPool = store.SaverPool
+	// PoolSaver is one store's BackgroundSaver handle onto a SaverPool.
+	PoolSaver = store.PoolSaver
+	// Gateway is a multi-SA IPsec endpoint persisting every SA into one
+	// shared Journal through one shared SaverPool.
+	Gateway = ipsec.Gateway
+	// GatewayConfig configures a Gateway.
+	GatewayConfig = ipsec.GatewayConfig
+)
+
+// DefaultGatewayK is the SAVE interval a Gateway uses when none is given.
+const DefaultGatewayK = ipsec.DefaultGatewayK
+
+// Journal errors.
+var (
+	// ErrBadKey reports an empty or over-long journal key.
+	ErrBadKey = store.ErrBadKey
+	// ErrCellClaimed reports a ClaimCell on a key already claimed in this
+	// process (a Gateway claims its SAs' cells; see ErrDuplicateSPI).
+	ErrCellClaimed = store.ErrCellClaimed
+)
+
+// NewJournal opens (or creates) the group-committed save journal at path,
+// recovering each key's counter as the maximum over its valid records and
+// discarding a torn tail.
+func NewJournal(path string, opts ...JournalOption) (*Journal, error) {
+	return store.OpenJournal(path, opts...)
+}
+
+// JournalWithoutSync disables every fsync in a Journal (measurement only;
+// a power loss may lose recent saves).
+func JournalWithoutSync() JournalOption { return store.JournalWithoutSync() }
+
+// JournalCompactAt sets the log size in bytes that triggers compaction to
+// one record per key; <= 0 disables compaction.
+func JournalCompactAt(n int64) JournalOption { return store.JournalCompactAt(n) }
+
+// JournalBatchDelay makes the group-commit syncer linger for d before its
+// fsync so more concurrent SAVEs share it; durability is unchanged, save
+// latency grows by up to d.
+func JournalBatchDelay(d time.Duration) JournalOption {
+	return store.JournalBatchDelay(d)
+}
+
+// JournalStrictRecovery refuses (ErrCorrupt) to open a journal whose first
+// bad frame is followed by valid records, instead of truncating it as a
+// torn tail; prefer it on storage without its own integrity checking.
+func JournalStrictRecovery() JournalOption { return store.JournalStrictRecovery() }
+
+// NewSaverPool starts a pool of background-save workers (<= 0 means
+// store.DefaultPoolWorkers).
+func NewSaverPool(workers int) *SaverPool { return store.NewSaverPool(workers) }
+
+// NewJournalSender builds a resilient sender whose counter lives in journal
+// j under key. pool may be nil for synchronous saves; with a pool, saves
+// coalesce per key and group-commit across keys. The cell is claimed
+// exclusively (ErrCellClaimed on a key already owned — release with
+// j.ReleaseCell); if the journal holds a prior life's counter, the sender
+// resumes through the paper's wake-up rather than restarting at 1, and is
+// briefly StateWaking when saves are pooled. The strict durable horizon is
+// enabled: pool queueing can push a counter more than 2K past its durable
+// value, and the horizon turns that reuse window into bounded backpressure
+// (Next returns ErrSaveLag until the save lands).
+func NewJournalSender(j *Journal, key string, k uint64, pool *SaverPool) (*Sender, error) {
+	cell, resume, err := claimJournalCell(j, key)
+	if err != nil {
+		return nil, fmt.Errorf("antireplay: journal sender %q: %w", key, err)
+	}
+	cfg := core.SenderConfig{K: k, Store: cell, StrictHorizon: true}
+	if pool != nil {
+		cfg.Saver = pool.Saver(cell)
+	}
+	snd, err := core.NewSender(cfg)
+	if err != nil {
+		j.ReleaseCell(key)
+		return nil, fmt.Errorf("antireplay: journal sender %q: %w", key, err)
+	}
+	if resume {
+		snd.Reset()
+		snd.Wake()
+	}
+	return snd, nil
+}
+
+// claimJournalCell claims key and reports whether a prior life's state is
+// present (the caller must then resume via Reset+Wake, not restart at the
+// initial counter). The claim is released if the fetch fails.
+func claimJournalCell(j *Journal, key string) (*JournalCell, bool, error) {
+	cell, err := j.ClaimCell(key)
+	if err != nil {
+		return nil, false, err
+	}
+	_, resume, err := cell.Fetch()
+	if err != nil {
+		j.ReleaseCell(key)
+		return nil, false, err
+	}
+	return cell, resume, nil
+}
+
+// NewJournalReceiver builds a resilient receiver whose window edge lives in
+// journal j under key, with a window of width w. pool may be nil for
+// synchronous saves. Cell claiming and prior-state resumption work as in
+// NewJournalSender, and the strict durable horizon is enabled: delivery at
+// or beyond committed+2K is deferred (VerdictHorizon) until the lagging
+// save lands.
+func NewJournalReceiver(j *Journal, key string, k uint64, w int, pool *SaverPool) (*Receiver, error) {
+	cell, resume, err := claimJournalCell(j, key)
+	if err != nil {
+		return nil, fmt.Errorf("antireplay: journal receiver %q: %w", key, err)
+	}
+	cfg := core.ReceiverConfig{K: k, W: w, Store: cell, StrictHorizon: true}
+	if pool != nil {
+		cfg.Saver = pool.Saver(cell)
+	}
+	rcv, err := core.NewReceiver(cfg)
+	if err != nil {
+		j.ReleaseCell(key)
+		return nil, fmt.Errorf("antireplay: journal receiver %q: %w", key, err)
+	}
+	if resume {
+		rcv.Reset()
+		rcv.Wake()
+	}
+	return rcv, nil
+}
+
+// NewGateway builds a multi-SA gateway over a shared journal and pool; see
+// ipsec.GatewayConfig for the knobs.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return ipsec.NewGateway(cfg) }
+
+// OutboundKey is the journal key a Gateway uses for an outbound SA.
+func OutboundKey(spi uint32) string { return ipsec.OutboundKey(spi) }
+
+// InboundKey is the journal key a Gateway uses for an inbound SA.
+func InboundKey(spi uint32) string { return ipsec.InboundKey(spi) }

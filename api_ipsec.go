@@ -56,6 +56,8 @@ var (
 	ErrShortPacket = ipsec.ErrShortPacket
 	// ErrNoPolicy reports outbound traffic with no SPD match.
 	ErrNoPolicy = ipsec.ErrNoPolicy
+	// ErrDuplicateSPI reports a gateway SA registration reusing a live SPI.
+	ErrDuplicateSPI = ipsec.ErrDuplicateSPI
 	// ErrKeySize reports invalid key material.
 	ErrKeySize = ipsec.ErrKeySize
 )

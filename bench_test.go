@@ -1,5 +1,5 @@
 // Root benchmark harness: one testing.B benchmark per figure/table of the
-// paper (DESIGN.md §4 experiment index). Each benchmark executes the same
+// paper (run `go run ./cmd/benchtables -list` for the index). Each benchmark executes the same
 // experiment function that cmd/benchtables uses to regenerate the artifact,
 // reports its headline metric via b.ReportMetric, and logs the full table
 // under -v.
@@ -175,4 +175,16 @@ func BenchmarkTableHorizon(b *testing.B) {
 	runTable(b, func() (*experiments.Table, error) {
 		return experiments.LossJumpHorizon(experiments.DefaultHorizonConfig())
 	})
+}
+
+// BenchmarkTableGatewayPersistence regenerates the gateway-scale SAVE
+// comparison: 1k SAs multiplexed onto one group-committed journal versus
+// the per-SA-file pattern. The headline metric is the fsync reduction
+// (acceptance: >= 10x at 1000 SAs).
+func BenchmarkTableGatewayPersistence(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		return experiments.GatewayPersistence(experiments.DefaultGatewayConfig())
+	})
+	b.ReportMetric(colValue(b, tbl, "journal_fsyncs"), "journal-fsyncs-1k")
+	b.ReportMetric(colValue(b, tbl, "perfile_fsyncs"), "perfile-fsyncs-1k")
 }

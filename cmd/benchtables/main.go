@@ -1,5 +1,5 @@
 // Command benchtables regenerates every figure and table of the paper's
-// analysis (see DESIGN.md §4 for the experiment index) and writes them as
+// analysis (use -list for the experiment index) and writes them as
 // aligned text and CSV.
 //
 // Usage:

@@ -47,13 +47,20 @@
 // the paper's §6 prolonged-reset recovery; Peer composes all of it into a
 // host-level association with automatic recovery and rekeying.
 //
+// At gateway scale the per-SA file-and-goroutine pattern does not hold up:
+// a Journal multiplexes every SA's counter into one append-only log with
+// group-committed fsyncs, a SaverPool bounds the background-save workers,
+// and Gateway binds a lock-striped SAD and an SPD to both (see README.md,
+// "Journal design notes").
+//
 // The paper's receiver-side theorem additionally requires that the window
 // edge advance at most Kq numbers per save interval — an assumption message
-// loss can break (see DESIGN.md §5). The StrictHorizon option (default in
-// Peer) removes the assumption by never delivering at or beyond
-// committed+leap, making the no-duplicate-delivery guarantee unconditional.
+// loss can break (see README.md's analysis-gap note and the "horizon"
+// experiment). The StrictHorizon option (default in Peer and Gateway)
+// removes the assumption by never delivering at or beyond committed+leap,
+// making the no-duplicate-delivery guarantee unconditional.
 //
 // Everything is deterministic under the simulation engine (Engine,
 // SimSaver) used by the experiment harness that regenerates the paper's
-// figures; see DESIGN.md and EXPERIMENTS.md in the repository.
+// figures; see README.md and the experiments package in the repository.
 package antireplay

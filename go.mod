@@ -1,0 +1,3 @@
+module antireplay
+
+go 1.24

@@ -3,7 +3,7 @@ package core_test
 // Tests for the strict durable horizon — the guard this implementation adds
 // beyond the paper after finding that the receiver-side Figure 2 analysis
 // assumes the window edge advances at most Kq numbers per save interval.
-// See DESIGN.md §5 ("Beyond the paper").
+// See README.md ("Tests and benchmarks": the analysis-gap note).
 
 import (
 	"errors"

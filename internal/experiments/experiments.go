@@ -1,10 +1,10 @@
 // Package experiments regenerates every figure and table of the paper's
-// analysis, plus the extension experiments DESIGN.md catalogues (E1–E13).
+// analysis, plus extension experiments beyond the paper (E1–E13).
 //
 // Each experiment is a pure function from a parameter struct (with a
 // Default* constructor) to a *Table; all randomness is seeded, so runs are
 // reproducible bit-for-bit. The cmd/benchtables binary and the root
-// bench_test.go both call these functions; EXPERIMENTS.md records the
+// bench_test.go both call these functions; each Table.Note records the
 // expected shapes next to paper claims.
 package experiments
 
@@ -175,8 +175,15 @@ func All() []Runner {
 			}
 			return SaveOverhead(cfg)
 		}},
-		{ID: "horizon", Paper: "analysis gap: loss jump + torn save (DESIGN.md §5)", Run: func(fast bool) (*Table, error) {
+		{ID: "horizon", Paper: "analysis gap: loss jump + torn save (README.md)", Run: func(fast bool) (*Table, error) {
 			return LossJumpHorizon(DefaultHorizonConfig())
+		}},
+		{ID: "gateway", Paper: "gateway-scale SAVE: shared journal vs per-SA files", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultGatewayConfig()
+			if fast {
+				cfg.SACounts = []int{100, 250}
+			}
+			return GatewayPersistence(cfg)
 		}},
 	}
 }

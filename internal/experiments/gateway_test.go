@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestGatewayPersistenceFsyncReduction is the acceptance gate for the
+// shared-journal refactor: at 1000 SAs, one Journal + SaverPool must issue
+// at least 10x fewer fsyncs than the per-file-store equivalent.
+func TestGatewayPersistenceFsyncReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping 1k-SA persistence sweep")
+	}
+	tbl, err := GatewayPersistence(GatewayConfig{
+		SACounts:   []int{1000},
+		SavesPerSA: 10,
+		Workers:    16,
+		BatchDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("GatewayPersistence: %v", err)
+	}
+	t.Logf("\n%s", tbl)
+
+	col := func(name string) uint64 {
+		for i, c := range tbl.Columns {
+			if c == name {
+				v, err := strconv.ParseUint(tbl.Rows[0][i], 10, 64)
+				if err != nil {
+					t.Fatalf("parse %s: %v", name, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return 0
+	}
+	journal, perFile := col("journal_fsyncs"), col("perfile_fsyncs")
+	if journal == 0 {
+		t.Fatal("journal_fsyncs = 0: durable saves must fsync")
+	}
+	if journal*10 > perFile {
+		t.Errorf("journal fsyncs = %d, per-file = %d: want >= 10x reduction", journal, perFile)
+	}
+}

@@ -22,8 +22,9 @@ func DefaultHorizonConfig() HorizonConfig {
 	return HorizonConfig{K: 25, Jumps: []uint64{10, 40, 49, 51, 60, 200, 1000}}
 }
 
-// LossJumpHorizon documents the reproduction's negative result (DESIGN.md
-// §5): the paper's receiver-side theorem fails when a loss-induced sequence
+// LossJumpHorizon documents the reproduction's negative result (the
+// analysis-gap note in README.md's "Tests and benchmarks" section): the
+// paper's receiver-side theorem fails when a loss-induced sequence
 // jump larger than the leap is delivered and its save is torn by a reset —
 // the jumped message is then delivered twice. The strict-horizon variant
 // drops the jump instead (extending its durable horizon with a save) and

@@ -8,45 +8,97 @@ import (
 	"antireplay/internal/core"
 )
 
-// SAD is the security association database: inbound SAs keyed by SPI.
-// Safe for concurrent use.
-type SAD struct {
+// sadShardBits sets the number of lock stripes in a SAD (a power of two so
+// the hash's top bits index directly). 64 stripes keep contention
+// negligible well past 100k SAs while costing ~6KB per database.
+const (
+	sadShardBits  = 6
+	sadShardCount = 1 << sadShardBits
+)
+
+type sadShard struct {
 	mu  sync.RWMutex
 	sas map[uint32]*InboundSA
 }
 
+// SAD is the security association database: inbound SAs keyed by SPI. The
+// table is lock-striped into sadShardCount shards so per-packet lookups on
+// different SAs never serialize on one database-wide lock — the hot path of
+// a gateway terminating many tunnels. Safe for concurrent use.
+type SAD struct {
+	shards [sadShardCount]sadShard
+}
+
 // NewSAD returns an empty database.
-func NewSAD() *SAD { return &SAD{sas: make(map[uint32]*InboundSA)} }
+func NewSAD() *SAD {
+	d := &SAD{}
+	for i := range d.shards {
+		d.shards[i].sas = make(map[uint32]*InboundSA)
+	}
+	return d
+}
+
+// shard maps an SPI to its stripe. SPIs are often allocated sequentially,
+// so the index comes from the top bits of a Fibonacci-hash multiply rather
+// than the SPI's own low bits.
+func (d *SAD) shard(spi uint32) *sadShard {
+	return &d.shards[(spi*2654435761)>>(32-sadShardBits)]
+}
 
 // Add registers sa, replacing any SA with the same SPI.
 func (d *SAD) Add(sa *InboundSA) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.sas[sa.SPI()] = sa
+	s := d.shard(sa.SPI())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sas[sa.SPI()] = sa
 }
 
 // Delete removes the SA with the given SPI, reporting whether it existed.
 func (d *SAD) Delete(spi uint32) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	_, ok := d.sas[spi]
-	delete(d.sas, spi)
+	s := d.shard(spi)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sas[spi]
+	delete(s.sas, spi)
 	return ok
 }
 
 // Lookup returns the SA for spi.
 func (d *SAD) Lookup(spi uint32) (*InboundSA, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	sa, ok := d.sas[spi]
+	s := d.shard(spi)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sa, ok := s.sas[spi]
 	return sa, ok
 }
 
 // Len returns the number of registered SAs.
 func (d *SAD) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.sas)
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		n += len(s.sas)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for each registered SA until fn returns false. The
+// iteration holds one shard's read lock at a time; SAs added or deleted
+// concurrently may or may not be observed.
+func (d *SAD) Range(fn func(*InboundSA) bool) {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for _, sa := range s.sas {
+			if !fn(sa) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
 }
 
 // Open routes wire bytes to the SA named by their SPI and opens them.
@@ -75,10 +127,18 @@ func (s Selector) Matches(src, dst netip.Addr) bool {
 }
 
 // SPD is the security policy database: an ordered list of selectors mapping
-// outbound traffic to SAs (first match wins). Safe for concurrent use.
+// outbound traffic to SAs (first match wins). Host-route selectors (both
+// prefixes single-address, the common shape on a tunnel concentrator) are
+// additionally indexed in a hash map; while every entry is a host route,
+// Lookup is O(1) instead of a linear selector scan — the outbound analogue
+// of the SAD's lock striping. One non-host selector falls Lookup back to
+// the ordered scan, preserving first-match-wins exactly. Safe for
+// concurrent use.
 type SPD struct {
 	mu      sync.RWMutex
 	entries []spdEntry
+	exact   map[hostPair]*OutboundSA
+	scanAll bool // a non-host selector exists; the ordered scan decides
 }
 
 type spdEntry struct {
@@ -86,14 +146,34 @@ type spdEntry struct {
 	sa  *OutboundSA
 }
 
+type hostPair struct {
+	src, dst netip.Addr
+}
+
 // NewSPD returns an empty policy database.
-func NewSPD() *SPD { return &SPD{} }
+func NewSPD() *SPD { return &SPD{exact: make(map[hostPair]*OutboundSA)} }
 
 // Add appends a policy entry.
 func (p *SPD) Add(sel Selector, sa *OutboundSA) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.entries = append(p.entries, spdEntry{sel: sel, sa: sa})
+	if p.scanAll {
+		return // the ordered scan decides; the map has been dropped
+	}
+	if sel.Src.IsSingleIP() && sel.Dst.IsSingleIP() {
+		if p.exact == nil { // zero-value SPD works like before
+			p.exact = make(map[hostPair]*OutboundSA)
+		}
+		pair := hostPair{src: sel.Src.Addr(), dst: sel.Dst.Addr()}
+		if _, dup := p.exact[pair]; !dup {
+			// First match wins; a later duplicate never shadows it.
+			p.exact[pair] = sa
+		}
+	} else {
+		p.scanAll = true
+		p.exact = nil // never consulted again; free it
+	}
 }
 
 // Len returns the number of policy entries.
@@ -107,6 +187,10 @@ func (p *SPD) Len() int {
 func (p *SPD) Lookup(src, dst netip.Addr) (*OutboundSA, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if !p.scanAll {
+		sa, ok := p.exact[hostPair{src: src, dst: dst}]
+		return sa, ok
+	}
 	for _, e := range p.entries {
 		if e.sel.Matches(src, dst) {
 			return e.sa, true

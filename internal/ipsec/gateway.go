@@ -1,0 +1,381 @@
+package ipsec
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"antireplay/internal/core"
+	"antireplay/internal/store"
+)
+
+// GatewayConfig configures a Gateway.
+type GatewayConfig struct {
+	// Journal is the shared durable medium for every SA's counter.
+	// Required.
+	Journal *store.Journal
+	// Pool executes the SAs' background SAVEs. Nil creates a pool of
+	// Workers workers owned (drained and stopped) by the gateway. A
+	// caller-provided pool is not closed by the gateway: close it before
+	// Gateway.Close, or its queued saves race the journal closing.
+	Pool *store.SaverPool
+	// Workers sizes the owned pool when Pool is nil; <= 0 means
+	// store.DefaultPoolWorkers.
+	Workers int
+	// K is the SAVE interval applied to each SA's sender/receiver.
+	// Zero means DefaultGatewayK.
+	K uint64
+	// W is the anti-replay window width for inbound SAs. Zero means 64.
+	W int
+	// ESN enables 64-bit extended sequence numbers on inbound SAs.
+	ESN bool
+	// NoStrictHorizon disables the durable-horizon guard (see
+	// core.SenderConfig.StrictHorizon) that gateways enable by default.
+	// With a shared saver pool, background SAVEs queue behind other SAs'
+	// work, so a burst can push a counter more than 2K past its durable
+	// value; the guard turns that window — where a reset would reuse
+	// sequence numbers or re-accept replays — into bounded backpressure
+	// (core.ErrSaveLag from Seal, a discarded-then-retried packet inbound).
+	// Disable only when K is provably sized for the medium's worst-case
+	// queueing delay.
+	NoStrictHorizon bool
+	// Lifetime bounds each SA; the zero value means unbounded.
+	Lifetime Lifetime
+	// Clock feeds SA lifetime accounting; nil means a frozen clock.
+	Clock func() time.Duration
+}
+
+// DefaultGatewayK is the SAVE interval used when GatewayConfig.K is zero —
+// the paper's §4 sizing example (100µs save / 4µs send).
+const DefaultGatewayK = 25
+
+// Gateway is a multi-SA IPsec endpoint whose every security association
+// persists its counter into one shared Journal through one shared
+// SaverPool: the gateway-scale deployment of the paper's SAVE/FETCH
+// protocol. Where the one-file-one-goroutine-per-SA pattern costs a file
+// descriptor, a goroutine, and a private fsync stream per tunnel, a Gateway
+// holds one log file and a bounded worker pool, and concurrent SAVEs across
+// SAs group-commit under shared fsyncs.
+//
+// Outbound SAs register into an SPD keyed by traffic selectors; inbound SAs
+// into a lock-striped SAD keyed by SPI. ResetAll / WakeAll drive the
+// paper's reset protocol across the whole SA population — the §3
+// "host with multiple existing SAs" scenario — with recovery cost one
+// journal replay instead of one IKE renegotiation per SA.
+//
+// Registering an SA durably initializes its counter, costing one group
+// commit; sequential AddOutbound/AddInbound calls cannot share commits, so
+// populate large gateways from a few concurrent goroutines and the journal
+// batches their registrations into shared fsyncs.
+//
+// By default every SA runs with the strict durable horizon, so the paper's
+// no-reuse and no-replay guarantees hold even when pool queueing lets the
+// durable counter lag more than 2K: Seal then returns core.ErrSaveLag
+// (back off and retry) and inbound delivery briefly discards
+// (core.VerdictHorizon) until the lagging save lands.
+//
+// Gateway is safe for concurrent use.
+type Gateway struct {
+	cfg     GatewayConfig
+	pool    *store.SaverPool
+	ownPool bool
+	sad     *SAD
+	spd     *SPD
+
+	mu     sync.Mutex
+	closed bool
+	// outbound SAs are tracked here because the SPD has no iteration;
+	// inbound SAs live only in the SAD (iterated via Range).
+	outbound []*OutboundSA
+	// claimed holds the journal keys this gateway owns, released on
+	// RemoveInbound and Close.
+	claimed map[string]bool
+}
+
+// claimCell claims the journal cell for key and reads whether it holds a
+// prior life's state. An existing claim maps to ErrDuplicateSPI (two
+// endpoints over one cell would interleave counters); other failures —
+// e.g. a closed journal or gateway — pass through untouched. The gateway
+// mutex is held across the journal claim so a concurrent Close cannot
+// strand a claim outside the release set.
+func (g *Gateway) claimCell(key string, spi uint32, dir string) (*store.Cell, bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, false, fmt.Errorf("ipsec: gateway %s %#x: %w", dir, spi, store.ErrClosed)
+	}
+	cell, err := g.cfg.Journal.ClaimCell(key)
+	if err != nil {
+		if errors.Is(err, store.ErrCellClaimed) {
+			return nil, false, fmt.Errorf("%w: %s %#x: %w", ErrDuplicateSPI, dir, spi, err)
+		}
+		return nil, false, fmt.Errorf("ipsec: gateway %s %#x: %w", dir, spi, err)
+	}
+	_, resume, err := cell.Fetch()
+	if err != nil {
+		g.cfg.Journal.ReleaseCell(key)
+		return nil, false, fmt.Errorf("ipsec: gateway %s %#x: %w", dir, spi, err)
+	}
+	g.claimed[key] = true
+	return cell, resume, nil
+}
+
+// releaseCell drops a claim taken by claimCell (failed registration, SA
+// removal, or a registration that lost a race with Close). The journal
+// release only happens while this gateway still owns the key: once Close
+// has taken the claim set and released it, the same key may already belong
+// to a successor gateway, and releasing it again would strip the
+// successor's exclusivity.
+func (g *Gateway) releaseCell(key string) {
+	g.mu.Lock()
+	owned := g.claimed[key]
+	delete(g.claimed, key)
+	g.mu.Unlock()
+	if owned {
+		g.cfg.Journal.ReleaseCell(key)
+	}
+}
+
+// NewGateway validates cfg and returns an empty gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.Journal == nil {
+		return nil, fmt.Errorf("%w: gateway requires a journal", core.ErrConfig)
+	}
+	if cfg.K == 0 {
+		cfg.K = DefaultGatewayK
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		pool:    cfg.Pool,
+		sad:     NewSAD(),
+		spd:     NewSPD(),
+		claimed: make(map[string]bool),
+	}
+	if g.pool == nil {
+		g.pool = store.NewSaverPool(cfg.Workers)
+		g.ownPool = true
+	}
+	return g, nil
+}
+
+// OutboundKey is the journal key of an outbound SA's counter.
+func OutboundKey(spi uint32) string { return fmt.Sprintf("tx/%08x", spi) }
+
+// InboundKey is the journal key of an inbound SA's window edge.
+func InboundKey(spi uint32) string { return fmt.Sprintf("rx/%08x", spi) }
+
+// AddOutbound creates an outbound SA whose sender persists into the shared
+// journal under OutboundKey(spi), registers it in the SPD under sel, and
+// returns it. The journal cell is claimed exclusively: reusing a live SPI —
+// even from another gateway sharing the journal — is refused with
+// ErrDuplicateSPI, because two senders over one cell would emit overlapping
+// sequence numbers after a wake. If the journal already holds state for the
+// SPI (a prior process life), the SA resumes through the paper's wake-up
+// (FETCH + 2K leap + SAVE) rather than restarting at 1; it is briefly
+// StateWaking — WakeAll waits for it.
+func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*OutboundSA, error) {
+	key := OutboundKey(spi)
+	cell, resume, err := g.claimCell(key, spi, "outbound")
+	if err != nil {
+		return nil, err
+	}
+	snd, err := core.NewSender(core.SenderConfig{
+		K:             g.cfg.K,
+		Store:         cell,
+		Saver:         g.pool.Saver(cell),
+		StrictHorizon: !g.cfg.NoStrictHorizon,
+	})
+	if err != nil {
+		g.releaseCell(key)
+		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, err)
+	}
+	sa, err := NewOutboundSA(spi, keys, snd, g.cfg.Lifetime, g.cfg.Clock)
+	if err != nil {
+		g.releaseCell(key)
+		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, err)
+	}
+	if resume {
+		// The cell held a prior life's counter: starting at 1 would reuse
+		// every number below it. Resume via reset + wake instead.
+		snd.Reset()
+		snd.Wake()
+	}
+	g.mu.Lock()
+	if g.closed {
+		// Close ran between the claim and here and already released the
+		// cell; completing registration would hand out an SA whose cell a
+		// successor gateway can claim too. releaseCell no-ops if Close got
+		// there first.
+		g.mu.Unlock()
+		g.releaseCell(key)
+		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, store.ErrClosed)
+	}
+	g.outbound = append(g.outbound, sa)
+	g.spd.Add(sel, sa) // inside g.mu so Close cannot interleave
+	g.mu.Unlock()
+	return sa, nil
+}
+
+// AddInbound creates an inbound SA whose receiver persists into the shared
+// journal under InboundKey(spi), registers it in the SAD, and returns it.
+// Duplicate SPIs and prior journal state are handled as in AddOutbound: the
+// cell is claimed exclusively, and a recovered window edge resumes through
+// the wake-up leap instead of re-accepting old sequence numbers.
+func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
+	key := InboundKey(spi)
+	cell, resume, err := g.claimCell(key, spi, "inbound")
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := core.NewReceiver(core.ReceiverConfig{
+		K:             g.cfg.K,
+		W:             g.cfg.W,
+		Store:         cell,
+		Saver:         g.pool.Saver(cell),
+		StrictHorizon: !g.cfg.NoStrictHorizon,
+	})
+	if err != nil {
+		g.releaseCell(key)
+		return nil, fmt.Errorf("ipsec: gateway inbound %#x: %w", spi, err)
+	}
+	sa, err := NewInboundSA(spi, keys, rcv, g.cfg.ESN, g.cfg.Lifetime, g.cfg.Clock)
+	if err != nil {
+		g.releaseCell(key)
+		return nil, fmt.Errorf("ipsec: gateway inbound %#x: %w", spi, err)
+	}
+	if resume {
+		rcv.Reset()
+		rcv.Wake()
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.releaseCell(key)
+		return nil, fmt.Errorf("ipsec: gateway inbound %#x: %w", spi, store.ErrClosed)
+	}
+	g.sad.Add(sa) // inside g.mu so Close cannot interleave
+	g.mu.Unlock()
+	return sa, nil
+}
+
+// Seal routes payload through the SPD and seals it on the matching SA.
+func (g *Gateway) Seal(src, dst netip.Addr, payload []byte) ([]byte, error) {
+	return g.spd.Seal(src, dst, payload)
+}
+
+// Open routes wire bytes through the SAD and opens them on the SA named by
+// their SPI.
+func (g *Gateway) Open(wire []byte) ([]byte, core.Verdict, error) {
+	return g.sad.Open(wire)
+}
+
+// SAD exposes the inbound database.
+func (g *Gateway) SAD() *SAD { return g.sad }
+
+// SPD exposes the outbound policy database.
+func (g *Gateway) SPD() *SPD { return g.spd }
+
+// Journal exposes the shared durable medium.
+func (g *Gateway) Journal() *store.Journal { return g.cfg.Journal }
+
+// ResetAll crashes every SA's endpoint, as a machine reset would: all
+// volatile counters and windows are lost; the journal survives.
+func (g *Gateway) ResetAll() {
+	snap := g.snapshot()
+	for _, sa := range snap.outbound {
+		sa.Sender().Reset()
+	}
+	for _, sa := range snap.inbound {
+		sa.Receiver().Reset()
+	}
+}
+
+// WakeAll runs the paper's wake-up (FETCH + leap + SAVE) on every SA and
+// blocks until each endpoint is back up or fails, returning the first
+// failure. The post-wake SAVEs run through the shared pool, so the whole
+// population's recovery group-commits into a handful of fsyncs.
+func (g *Gateway) WakeAll() error {
+	snap := g.snapshot()
+	for _, sa := range snap.outbound {
+		sa.Sender().Wake()
+	}
+	for _, sa := range snap.inbound {
+		sa.Receiver().Wake()
+	}
+	for _, sa := range snap.outbound {
+		for sa.Sender().State() != core.StateUp {
+			if err := sa.Sender().LastWakeError(); err != nil {
+				return fmt.Errorf("ipsec: gateway wake outbound %#x: %w", sa.SPI(), err)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	for _, sa := range snap.inbound {
+		for sa.Receiver().State() != core.StateUp {
+			if err := sa.Receiver().LastWakeError(); err != nil {
+				return fmt.Errorf("ipsec: gateway wake inbound %#x: %w", sa.SPI(), err)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+type gatewaySnapshot struct {
+	outbound []*OutboundSA
+	inbound  []*InboundSA
+}
+
+// snapshot copies the SA population: outbound from the gateway's own list,
+// inbound from the SAD (the single source of truth for registered inbound
+// SAs, including any the caller added directly).
+func (g *Gateway) snapshot() gatewaySnapshot {
+	g.mu.Lock()
+	snap := gatewaySnapshot{outbound: append([]*OutboundSA(nil), g.outbound...)}
+	g.mu.Unlock()
+	g.sad.Range(func(sa *InboundSA) bool {
+		snap.inbound = append(snap.inbound, sa)
+		return true
+	})
+	return snap
+}
+
+// RemoveInbound tears down the inbound SA for spi: it is dropped from the
+// SAD and its journal cell claim is released, so the SPI can be
+// re-established (e.g. a rekey reusing the SPI) against the recovered
+// counter. Reports whether the SA existed. (Outbound SAs cannot be removed
+// — the SPD holds policies for their whole lifetime — but Close releases
+// every claim when the gateway goes away.)
+func (g *Gateway) RemoveInbound(spi uint32) bool {
+	if !g.sad.Delete(spi) {
+		return false
+	}
+	g.releaseCell(InboundKey(spi))
+	return true
+}
+
+// Close drains the pool if the gateway created it and releases the
+// gateway's journal cell claims, so a successor gateway can be built over
+// the same journal. The journal and any caller-provided pool belong to the
+// caller (both may be shared with other gateways): close the pool first,
+// then the gateway, then the journal. SAs must not be used afterwards.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	claimed := g.claimed
+	g.claimed = nil
+	g.mu.Unlock()
+	if g.ownPool {
+		g.pool.Close()
+	}
+	for key := range claimed {
+		g.cfg.Journal.ReleaseCell(key)
+	}
+	return nil
+}

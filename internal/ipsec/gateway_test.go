@@ -1,0 +1,459 @@
+package ipsec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"antireplay/internal/core"
+	"antireplay/internal/store"
+)
+
+func newInboundT(t *testing.T, spi uint32) *InboundSA {
+	t.Helper()
+	rcv, err := core.NewReceiver(core.ReceiverConfig{K: 5, W: 64, Store: &store.Mem{}})
+	if err != nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+	sa, err := NewInboundSA(spi, testKeys(false), rcv, false, Lifetime{}, nil)
+	if err != nil {
+		t.Fatalf("NewInboundSA: %v", err)
+	}
+	return sa
+}
+
+// TestSADShardDistribution: sequentially allocated SPIs (the common
+// allocator pattern) must spread across stripes, not pile onto a few.
+func TestSADShardDistribution(t *testing.T) {
+	d := NewSAD()
+	counts := make(map[*sadShard]int)
+	for spi := uint32(1); spi <= 4096; spi++ {
+		counts[d.shard(spi)]++
+	}
+	if len(counts) != sadShardCount {
+		t.Fatalf("%d shards used, want all %d", len(counts), sadShardCount)
+	}
+	for s, n := range counts {
+		if n > 4096/sadShardCount*4 {
+			t.Errorf("shard %p holds %d of 4096 SPIs — distribution too skewed", s, n)
+		}
+	}
+}
+
+// TestSADConcurrentStress hammers the sharded SAD with concurrent Add,
+// Delete, Lookup, Open, Len, and Range. Run under -race this is the
+// regression test for the lock striping.
+func TestSADConcurrentStress(t *testing.T) {
+	d := NewSAD()
+	const spis = 128
+
+	// Pre-seal one valid packet per SPI so Open exercises full routing.
+	wires := make([][]byte, spis)
+	for i := range wires {
+		spi := uint32(i + 1)
+		snd, err := core.NewSender(core.SenderConfig{K: 5, Store: &store.Mem{}})
+		if err != nil {
+			t.Fatalf("NewSender: %v", err)
+		}
+		out, err := NewOutboundSA(spi, testKeys(false), snd, Lifetime{}, nil)
+		if err != nil {
+			t.Fatalf("NewOutboundSA: %v", err)
+		}
+		w, err := out.Seal([]byte("stress"))
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		wires[i] = w
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				spi := uint32(rng.Intn(spis) + 1)
+				switch rng.Intn(5) {
+				case 0:
+					d.Add(newInboundT(t, spi))
+				case 1:
+					d.Delete(spi)
+				case 2:
+					d.Lookup(spi)
+				case 3:
+					// Concurrent deletes make ErrUnknownSPI legitimate;
+					// only data races (caught by -race) and panics fail.
+					_, _, _ = d.Open(wires[spi-1])
+				case 4:
+					if n := d.Len(); n < 0 || n > spis {
+						t.Errorf("Len = %d, want 0..%d", n, spis)
+					}
+					d.Range(func(*InboundSA) bool { return true })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSPDExactFastPath: with only host-route selectors Lookup uses the hash
+// map; one prefix selector drops back to the ordered scan, and first-match
+// order is preserved either way.
+func TestSPDExactFastPath(t *testing.T) {
+	newOut := func(spi uint32) *OutboundSA {
+		snd, err := core.NewSender(core.SenderConfig{K: 5, Store: &store.Mem{}})
+		if err != nil {
+			t.Fatalf("NewSender: %v", err)
+		}
+		sa, err := NewOutboundSA(spi, testKeys(false), snd, Lifetime{}, nil)
+		if err != nil {
+			t.Fatalf("NewOutboundSA: %v", err)
+		}
+		return sa
+	}
+	host1, host2 := gwSelector(1), gwSelector(2)
+	src1, dst1 := gwAddr(1)
+
+	p := NewSPD()
+	sa1, sa2 := newOut(1), newOut(2)
+	p.Add(host1, sa1)
+	p.Add(host2, sa2)
+	p.Add(host1, newOut(3)) // duplicate must not shadow the first match
+	if got, ok := p.Lookup(src1, dst1); !ok || got != sa1 {
+		t.Errorf("exact Lookup = (%p, %v), want first-added sa1", got, ok)
+	}
+	if _, ok := p.Lookup(dst1, src1); ok {
+		t.Error("reversed pair matched, want miss")
+	}
+
+	// The zero value stays usable (public API exposes the type).
+	var zero SPD
+	zero.Add(host1, sa1)
+	if got, ok := zero.Lookup(src1, dst1); !ok || got != sa1 {
+		t.Errorf("zero-value SPD Lookup = (%p, %v), want sa1", got, ok)
+	}
+
+	// A broad prefix added first must win over a later host entry.
+	p2 := NewSPD()
+	broad := newOut(9)
+	p2.Add(Selector{
+		Src: netip.MustParsePrefix("10.0.0.0/8"),
+		Dst: netip.MustParsePrefix("10.1.0.0/16"),
+	}, broad)
+	p2.Add(host1, newOut(10))
+	if got, ok := p2.Lookup(src1, dst1); !ok || got != broad {
+		t.Errorf("prefix-first Lookup = (%p, %v), want the broad first match", got, ok)
+	}
+}
+
+func TestSADRange(t *testing.T) {
+	d := NewSAD()
+	for spi := uint32(1); spi <= 10; spi++ {
+		d.Add(newInboundT(t, spi))
+	}
+	seen := make(map[uint32]bool)
+	d.Range(func(sa *InboundSA) bool {
+		seen[sa.SPI()] = true
+		return true
+	})
+	if len(seen) != 10 {
+		t.Errorf("Range visited %d SAs, want 10", len(seen))
+	}
+	visited := 0
+	d.Range(func(*InboundSA) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Errorf("Range with early stop visited %d, want 1", visited)
+	}
+}
+
+func testGateway(t *testing.T, opts ...store.JournalOption) (*Gateway, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "gw.journal")
+	j, err := store.OpenJournal(path, opts...)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	// Cleanups run after the test body's deferred g.Close has drained the
+	// owned pool.
+	t.Cleanup(func() { j.Close() })
+	g, err := NewGateway(GatewayConfig{Journal: j, K: 5, W: 64})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	return g, path
+}
+
+func gwAddr(i int) (src, dst netip.Addr) {
+	return netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)})
+}
+
+func gwSelector(i int) Selector {
+	src, dst := gwAddr(i)
+	return Selector{
+		Src: netip.PrefixFrom(src, 32),
+		Dst: netip.PrefixFrom(dst, 32),
+	}
+}
+
+// gwSeal seals with retry on ErrSaveLag: the strict horizon's bounded
+// backpressure while a queued background save catches up.
+func gwSeal(t *testing.T, g *Gateway, src, dst netip.Addr, payload []byte) []byte {
+	t.Helper()
+	for attempt := 0; attempt < 10000; attempt++ {
+		wire, err := g.Seal(src, dst, payload)
+		if err == nil {
+			return wire
+		}
+		if !errors.Is(err, core.ErrSaveLag) {
+			t.Fatalf("Seal: %v", err)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	t.Fatal("Seal: ErrSaveLag never cleared")
+	return nil
+}
+
+// gwOpen opens with retry on VerdictHorizon (the receiver-side analogue; a
+// horizon discard does not mark the window, so a retry is a retransmission).
+func gwOpen(t *testing.T, g *Gateway, wire []byte) ([]byte, core.Verdict) {
+	t.Helper()
+	for attempt := 0; attempt < 10000; attempt++ {
+		payload, verdict, err := g.Open(wire)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if verdict != core.VerdictHorizon {
+			return payload, verdict
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	t.Fatal("Open: VerdictHorizon never cleared")
+	return nil, 0
+}
+
+func TestGatewaySealOpenAcrossSAs(t *testing.T) {
+	g, _ := testGateway(t)
+	defer g.Close()
+	const n = 16
+	for i := 0; i < n; i++ {
+		spi := uint32(0x1000 + i)
+		if _, err := g.AddOutbound(spi, testKeys(true), gwSelector(i)); err != nil {
+			t.Fatalf("AddOutbound: %v", err)
+		}
+		if _, err := g.AddInbound(spi, testKeys(true)); err != nil {
+			t.Fatalf("AddInbound: %v", err)
+		}
+	}
+	if g.SAD().Len() != n || g.SPD().Len() != n {
+		t.Fatalf("SAD/SPD len = %d/%d, want %d/%d", g.SAD().Len(), g.SPD().Len(), n, n)
+	}
+	// A live SPI must not be registrable twice in either direction: two
+	// endpoints over one journal cell would collide after a wake.
+	if _, err := g.AddOutbound(0x1000, testKeys(true), gwSelector(99)); !errors.Is(err, ErrDuplicateSPI) {
+		t.Errorf("duplicate AddOutbound = %v, want ErrDuplicateSPI", err)
+	}
+	if _, err := g.AddInbound(0x1000, testKeys(true)); !errors.Is(err, ErrDuplicateSPI) {
+		t.Errorf("duplicate AddInbound = %v, want ErrDuplicateSPI", err)
+	}
+	for i := 0; i < n; i++ {
+		src, dst := gwAddr(i)
+		msg := []byte(fmt.Sprintf("tunnel-%d", i))
+		wire := gwSeal(t, g, src, dst, msg)
+		got, verdict := gwOpen(t, g, wire)
+		if !verdict.Delivered() || string(got) != string(msg) {
+			t.Fatalf("Open %d = (%q, %v), want delivered %q", i, got, verdict, msg)
+		}
+	}
+}
+
+// TestGatewayResetRecovery is the paper's multi-SA reset scenario on the
+// shared journal: after ResetAll/WakeAll, no sequence number is reused
+// (fresh seals land above the pre-reset counters) and replayed packets are
+// rejected by every SA.
+func TestGatewayResetRecovery(t *testing.T) {
+	g, _ := testGateway(t)
+	defer g.Close()
+	const n = 8
+	outs := make([]*OutboundSA, n)
+	for i := 0; i < n; i++ {
+		spi := uint32(0x2000 + i)
+		out, err := g.AddOutbound(spi, testKeys(false), gwSelector(i))
+		if err != nil {
+			t.Fatalf("AddOutbound: %v", err)
+		}
+		outs[i] = out
+		if _, err := g.AddInbound(spi, testKeys(false)); err != nil {
+			t.Fatalf("AddInbound: %v", err)
+		}
+	}
+
+	replays := make([][]byte, n)
+	preSeq := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		src, dst := gwAddr(i)
+		for p := 0; p < 30; p++ {
+			wire := gwSeal(t, g, src, dst, []byte("pre-reset"))
+			if _, verdict := gwOpen(t, g, wire); !verdict.Delivered() {
+				t.Fatalf("Open pre-reset: %v", verdict)
+			}
+			replays[i] = wire
+		}
+		preSeq[i] = outs[i].Sender().Seq()
+	}
+
+	g.ResetAll()
+	if _, err := outs[0].Seal([]byte("down")); err == nil {
+		t.Fatal("Seal while down succeeded, want error")
+	}
+	if err := g.WakeAll(); err != nil {
+		t.Fatalf("WakeAll: %v", err)
+	}
+
+	for i := 0; i < n; i++ {
+		// The leaped counter must clear everything handed out pre-reset.
+		if got := outs[i].Sender().Seq(); got < preSeq[i] {
+			t.Errorf("SA %d: post-wake seq %d < pre-reset %d — sequence reuse", i, got, preSeq[i])
+		}
+		// Replays of pre-reset traffic must be rejected...
+		if _, verdict, err := g.Open(replays[i]); err != nil || verdict.Delivered() {
+			t.Errorf("SA %d: replay after reset = (%v, %v), want discarded", i, verdict, err)
+		}
+		// ...and fresh traffic must flow.
+		src, dst := gwAddr(i)
+		wire := gwSeal(t, g, src, dst, []byte("post-reset"))
+		if _, verdict := gwOpen(t, g, wire); !verdict.Delivered() {
+			t.Errorf("SA %d: fresh post-reset = %v, want delivered", i, verdict)
+		}
+	}
+}
+
+// TestGatewayRecoveryFromDisk reboots the whole gateway process: a second
+// gateway over the same journal path must resume with counters at or above
+// the first life's, so no SA ever reuses a sequence number.
+func TestGatewayRecoveryFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gw.journal")
+	j, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	g, err := NewGateway(GatewayConfig{Journal: j, K: 5})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	const n = 8
+	lastSeq := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out, err := g.AddOutbound(uint32(0x3000+i), testKeys(false), gwSelector(i))
+		if err != nil {
+			t.Fatalf("AddOutbound: %v", err)
+		}
+		src, dst := gwAddr(i)
+		for p := 0; p < 40; p++ {
+			gwSeal(t, g, src, dst, []byte("x"))
+		}
+		lastSeq[i] = out.Sender().Seq()
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal Close: %v", err)
+	}
+
+	j2, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	defer j2.Close()
+	g2, err := NewGateway(GatewayConfig{Journal: j2, K: 5})
+	if err != nil {
+		t.Fatalf("NewGateway 2: %v", err)
+	}
+	defer g2.Close()
+	outs := make([]*OutboundSA, n)
+	for i := 0; i < n; i++ {
+		// AddOutbound sees the prior life's counter in the journal and
+		// resumes through the paper's wake-up on its own; no hand-rolled
+		// Reset/Wake needed.
+		outs[i], err = g2.AddOutbound(uint32(0x3000+i), testKeys(false), gwSelector(i))
+		if err != nil {
+			t.Fatalf("AddOutbound 2: %v", err)
+		}
+	}
+	if err := g2.WakeAll(); err != nil {
+		t.Fatalf("WakeAll: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got := outs[i].Sender().Seq(); got < lastSeq[i] {
+			t.Errorf("SA %d: rebooted seq %d < pre-reboot %d — reuse across process restart", i, got, lastSeq[i])
+		}
+	}
+}
+
+// TestGatewayAddAfterClose: registration on a closed gateway must fail
+// cleanly (no panic, no stranded journal claim).
+func TestGatewayAddAfterClose(t *testing.T) {
+	g, _ := testGateway(t)
+	j := g.Journal()
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := g.AddOutbound(0x1, testKeys(false), gwSelector(1)); !errors.Is(err, store.ErrClosed) {
+		t.Errorf("AddOutbound after Close = %v, want ErrClosed", err)
+	}
+	if _, err := g.AddInbound(0x1, testKeys(false)); !errors.Is(err, store.ErrClosed) {
+		t.Errorf("AddInbound after Close = %v, want ErrClosed", err)
+	}
+	// The failed Adds left no claim behind: a successor gateway owns the SPI.
+	g2, err := NewGateway(GatewayConfig{Journal: j, K: 5})
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	defer g2.Close()
+	if _, err := g2.AddOutbound(0x1, testKeys(false), gwSelector(1)); err != nil {
+		t.Errorf("successor AddOutbound = %v, want nil", err)
+	}
+}
+
+// TestGatewayDuplicateSPIAcrossGateways: the duplicate guard is scoped to
+// the journal, not the gateway — two gateways sharing one journal must not
+// both own an SPI's cell.
+func TestGatewayDuplicateSPIAcrossGateways(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.journal")
+	j, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer j.Close()
+	g1, err := NewGateway(GatewayConfig{Journal: j, K: 5})
+	if err != nil {
+		t.Fatalf("NewGateway 1: %v", err)
+	}
+	defer g1.Close()
+	g2, err := NewGateway(GatewayConfig{Journal: j, K: 5})
+	if err != nil {
+		t.Fatalf("NewGateway 2: %v", err)
+	}
+	defer g2.Close()
+
+	if _, err := g1.AddOutbound(0x9000, testKeys(false), gwSelector(1)); err != nil {
+		t.Fatalf("g1 AddOutbound: %v", err)
+	}
+	if _, err := g2.AddOutbound(0x9000, testKeys(false), gwSelector(2)); !errors.Is(err, ErrDuplicateSPI) {
+		t.Errorf("g2 duplicate AddOutbound = %v, want ErrDuplicateSPI", err)
+	}
+	// A disjoint SPI on the shared journal is fine.
+	if _, err := g2.AddOutbound(0x9001, testKeys(false), gwSelector(2)); err != nil {
+		t.Errorf("g2 disjoint AddOutbound = %v, want nil", err)
+	}
+}

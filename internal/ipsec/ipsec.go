@@ -50,6 +50,8 @@ var (
 	ErrKeySize = errors.New("ipsec: invalid key size")
 	// ErrNoPolicy reports an outbound packet matching no SPD entry.
 	ErrNoPolicy = errors.New("ipsec: no matching policy")
+	// ErrDuplicateSPI reports a gateway SA registration reusing a live SPI.
+	ErrDuplicateSPI = errors.New("ipsec: duplicate SPI")
 )
 
 const (

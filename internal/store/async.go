@@ -32,6 +32,26 @@ type pendingSave struct {
 	done func(error)
 }
 
+// saveBatch persists one drained batch: only the maximum value is written
+// (a durable v' >= v is at least as safe as a durable v, and letting a
+// stale value land last would shrink the counter and void the wake-up leap
+// bound), then every done callback receives that save's result. Both
+// AsyncSaver and SaverPool coalesce through this one implementation.
+func saveBatch(st Store, batch []pendingSave) {
+	maxV := batch[0].v
+	for _, p := range batch[1:] {
+		if p.v > maxV {
+			maxV = p.v
+		}
+	}
+	err := st.Save(maxV)
+	for _, p := range batch {
+		if p.done != nil {
+			p.done(err)
+		}
+	}
+}
+
 // NewAsyncSaver returns a background saver over inner.
 func NewAsyncSaver(inner Store) *AsyncSaver {
 	return &AsyncSaver{inner: inner}
@@ -71,18 +91,7 @@ func (a *AsyncSaver) worker() {
 		a.pending = nil
 		a.mu.Unlock()
 
-		maxV := batch[0].v
-		for _, p := range batch[1:] {
-			if p.v > maxV {
-				maxV = p.v
-			}
-		}
-		err := a.inner.Save(maxV)
-		for _, p := range batch {
-			if p.done != nil {
-				p.done(err)
-			}
-		}
+		saveBatch(a.inner, batch)
 	}
 }
 

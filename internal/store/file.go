@@ -22,16 +22,18 @@ const (
 )
 
 // File is a Store backed by a single file. Save is crash-safe: the record is
-// written to a temporary file, synced, and atomically renamed over the
-// destination, so a reset during Save leaves the previous record intact —
-// the persistent-memory property the paper assumes. Fetch validates a magic
-// number, version, and CRC and returns ErrCorrupt on mismatch.
+// written to a temporary file, synced, atomically renamed over the
+// destination, and the parent directory is synced so the rename itself
+// survives a power loss — a reset at any point leaves a previous record
+// intact, the persistent-memory property the paper assumes. Fetch validates
+// a magic number, version, and CRC and returns ErrCorrupt on mismatch.
 //
 // File is safe for concurrent use.
 type File struct {
-	mu   sync.Mutex
-	path string
-	sync bool
+	mu    sync.Mutex
+	path  string
+	sync  bool
+	syncs uint64
 }
 
 var _ Store = (*File)(nil)
@@ -89,6 +91,7 @@ func (f *File) Save(v uint64) error {
 		if err := tmp.Sync(); err != nil {
 			return fail("sync temp", err)
 		}
+		f.syncs++
 	}
 	if err := tmp.Close(); err != nil {
 		return fail("close temp", err)
@@ -97,7 +100,24 @@ func (f *File) Save(v uint64) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: rename: %w", err)
 	}
+	if f.sync {
+		// The rename is only on the platter once the directory is synced;
+		// without this a power loss can roll the path back to the old
+		// record — or to nothing — after Save already reported success.
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+		f.syncs++
+	}
 	return nil
+}
+
+// Syncs returns the number of fsync calls Save has issued (temp-file and
+// directory syncs both count).
+func (f *File) Syncs() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
 }
 
 // Fetch reads and validates the persisted record.

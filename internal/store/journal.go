@@ -1,0 +1,677 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Journal file layout (big endian):
+//
+//	header:  4 bytes magic "ARJL" | 2 bytes version (1) | 2 bytes reserved
+//	record:  2 bytes key length n | 8 bytes value | n bytes key |
+//	         4 bytes CRC-32 (IEEE) of the preceding 10+n bytes
+//
+// Records only ever append; the current value of a key is the maximum over
+// all of its records (values are monotone counters, so max == latest-valid).
+// A reset that tears the last record leaves every earlier record intact —
+// exactly the persistent-memory property the paper assumes of SAVE.
+const (
+	journalMagic     = "ARJL"
+	journalVersion   = 1
+	journalHeaderLen = 8
+	journalMaxKey    = 1<<16 - 1
+)
+
+// DefaultCompactAt is the log size, in bytes, at which a Journal compacts
+// itself to one record per key.
+const DefaultCompactAt = 1 << 20
+
+// Journal is a single durable medium multiplexing many named counters: one
+// append-only, CRC-framed log file shared by every SA of a gateway, instead
+// of one file + one fsync stream per SA.
+//
+// Save appends a (key, value) record and group-commits: one fsync makes
+// every record appended since the previous fsync durable, so concurrent
+// SAVEs across SAs share the sync cost. Recovery (OpenJournal) replays the
+// log, keeps the maximum value per key, tolerates a torn tail (the record a
+// reset interrupted fails its CRC and is discarded), and truncates the tail
+// away so appends resume from a clean frame. When the log outgrows a
+// threshold it is compacted to one record per key via the same
+// write-temp + fsync + rename + dir-fsync dance File uses.
+//
+// Cell projects one key as a store.Store, so core.Sender / core.Receiver
+// run unchanged over a shared journal; the paper's per-key guarantees (2K
+// leap coverage, no replay acceptance) are preserved because each key's
+// record stream is independent and monotone.
+//
+// Journal is safe for concurrent use.
+type Journal struct {
+	path string
+
+	// mu guards all mutable state below. It is released only inside
+	// cond.Wait and around the group-commit fsync itself, so appends stay
+	// serialized while syncs overlap them.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	f        *os.File
+	vals     map[string]uint64
+	claims   map[string]bool
+	logSize  int64
+	snapSize int64 // what a one-record-per-key snapshot would occupy
+	closed   bool
+	ioErr    error // sticky append-path write error
+
+	// Group-commit state. Every append gets a sequence number; a record
+	// with number n is durable once syncedSeq > n. One goroutine at a time
+	// becomes the syncer: it snapshots appendSeq, fsyncs, and advances
+	// syncedSeq to the snapshot, covering every append that preceded it.
+	appendSeq uint64
+	syncedSeq uint64
+	syncing   bool
+	failedSeq uint64
+	syncErr   error
+
+	// Options.
+	sync           bool
+	compactAt      int64
+	batchDelay     time.Duration
+	strictRecovery bool
+
+	// Counters.
+	appends     uint64
+	syncs       uint64
+	compactions uint64
+}
+
+// JournalOption configures a Journal.
+type JournalOption func(*Journal)
+
+// JournalWithoutSync disables every fsync in the journal (group commits and
+// compaction). As with File's WithoutSync, a power loss may then lose
+// recent saves; a process crash may not.
+func JournalWithoutSync() JournalOption {
+	return func(j *Journal) { j.sync = false }
+}
+
+// JournalCompactAt sets the log size, in bytes, that triggers compaction.
+// Values <= 0 disable compaction.
+func JournalCompactAt(n int64) JournalOption {
+	return func(j *Journal) { j.compactAt = n }
+}
+
+// JournalBatchDelay makes the group-commit syncer linger for d before
+// issuing its fsync, letting more concurrent SAVEs join the batch — the
+// classic commit-delay knob of write-ahead logs. Durability is unchanged
+// (every Save still returns only after its record is fsynced); each save's
+// latency grows by up to d. Zero (the default) commits eagerly.
+func JournalBatchDelay(d time.Duration) JournalOption {
+	return func(j *Journal) { j.batchDelay = d }
+}
+
+// JournalStrictRecovery makes OpenJournal refuse (ErrCorrupt) when
+// CRC-valid records follow the first bad frame, instead of truncating
+// everything from the bad frame as a torn tail. Truncation is always safe
+// for crash tears (the dropped records' SAVEs never completed), but it
+// silently rolls a counter back if an already-durable record is later
+// damaged by the medium itself; strict recovery surfaces that case, at the
+// price of refusing some legitimate multi-record power-loss tails whose
+// later pages persisted before earlier ones. Prefer it on storage without
+// its own integrity checking.
+func JournalStrictRecovery() JournalOption {
+	return func(j *Journal) { j.strictRecovery = true }
+}
+
+// OpenJournal opens (or creates) the journal at path and recovers its state
+// by replaying the log: the value of each key is the maximum over its valid
+// records, and a torn or corrupt tail is truncated away. A corrupt header
+// returns ErrCorrupt.
+func OpenJournal(path string, opts ...JournalOption) (*Journal, error) {
+	j := &Journal{
+		path:      path,
+		vals:      make(map[string]uint64),
+		sync:      true,
+		compactAt: DefaultCompactAt,
+		snapSize:  journalHeaderLen,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	for _, o := range opts {
+		o(j)
+	}
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover replays the log into j.vals and leaves j.f positioned for appends.
+func (j *Journal) recover() error {
+	data, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return j.create()
+	}
+	if err != nil {
+		return fmt.Errorf("store: journal read: %w", err)
+	}
+	if len(data) < journalHeaderLen {
+		// A reset between create and the header write can leave a short
+		// file; nothing was ever saved, so start fresh.
+		return j.create()
+	}
+	if string(data[0:4]) != journalMagic {
+		return fmt.Errorf("%w: journal magic %q", ErrCorrupt, data[0:4])
+	}
+	if ver := binary.BigEndian.Uint16(data[4:6]); ver != journalVersion {
+		return fmt.Errorf("%w: journal version %d, want %d", ErrCorrupt, ver, journalVersion)
+	}
+
+	// Replay until the first frame that does not parse, which ends the
+	// valid prefix. Everything from there is discarded as a torn tail.
+	// That is exactly right for a crash: group commit write()s several
+	// records per fsync, and writeback filesystems persist those dirty
+	// pages in any order, so a power loss can leave a bad frame with
+	// intact unacknowledged records after it — none of them covered by a
+	// completed SAVE (their fsync never returned), so dropping them keeps
+	// the paper's guarantee. The one case truncation gets wrong is media
+	// corruption of an already-fsynced record (a durable counter then
+	// silently rolls back); deployments on storage that does not checksum
+	// itself can opt into JournalStrictRecovery, which refuses to open
+	// when CRC-valid records follow the bad frame — evidence the damage
+	// is not a tail tear.
+	off := journalHeaderLen
+	for off < len(data) {
+		rec, n, ok := parseRecord(data[off:])
+		if !ok {
+			if j.strictRecovery {
+				// The probe is byte-wise, so a corrupt length field in the
+				// bad frame cannot hide the records behind it; a chance
+				// CRC match over garbage has probability 2^-32 per offset.
+				// CRC work is budgeted so a large corrupt tail cannot turn
+				// the open into an O(tail²) stall; exhausting the budget
+				// without a valid frame falls back to the tear verdict.
+				budget := int64(1 << 22)
+				for probe := off + 1; probe+minRecordLen <= len(data) && budget > 0; probe++ {
+					// The CRC only runs over complete frames; bill their
+					// declared length against the budget.
+					n2 := int(binary.BigEndian.Uint16(data[probe : probe+2]))
+					if probe+2+8+n2+4 > len(data) {
+						continue // incomplete frame: no CRC computed
+					}
+					if _, _, valid := parseRecord(data[probe:]); valid {
+						return fmt.Errorf("%w: journal record at offset %d (valid records follow)", ErrCorrupt, off)
+					}
+					budget -= int64(2 + 8 + n2 + 4)
+				}
+			}
+			break // torn tail: truncate from off
+		}
+		if cur, seen := j.vals[rec.key]; !seen || rec.v > cur {
+			if !seen {
+				j.snapSize += int64(n)
+			}
+			j.vals[rec.key] = rec.v
+		}
+		off += n
+	}
+
+	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("store: journal open: %w", err)
+	}
+	if off < len(data) {
+		// Discard the torn tail so the next append starts a clean frame.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: journal truncate tail: %w", err)
+		}
+		if j.sync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("store: journal sync truncation: %w", err)
+			}
+			j.syncs++
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: journal seek: %w", err)
+	}
+	j.f = f
+	j.logSize = int64(off)
+	return nil
+}
+
+// create writes a fresh journal file (header only) and syncs it and its
+// directory so the journal itself survives a reset.
+func (j *Journal) create() error {
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("store: journal create: %w", err)
+	}
+	hdr := make([]byte, journalHeaderLen)
+	copy(hdr[0:4], journalMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], journalVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: journal write header: %w", err)
+	}
+	if j.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: journal sync header: %w", err)
+		}
+		j.syncs++
+		if err := syncDir(filepath.Dir(j.path)); err != nil {
+			f.Close()
+			return err
+		}
+		j.syncs++
+	}
+	j.f = f
+	j.logSize = journalHeaderLen
+	return nil
+}
+
+type journalRecord struct {
+	key string
+	v   uint64
+}
+
+// minRecordLen is the size of a frame with an empty key (which save()
+// rejects, so every real frame is larger).
+const minRecordLen = 2 + 8 + 4
+
+// parseRecord decodes one frame from b, returning the record, its encoded
+// length, and whether the frame was complete and CRC-valid.
+func parseRecord(b []byte) (journalRecord, int, bool) {
+	if len(b) < minRecordLen {
+		return journalRecord{}, 0, false
+	}
+	n := int(binary.BigEndian.Uint16(b[0:2]))
+	total := 2 + 8 + n + 4
+	if len(b) < total {
+		return journalRecord{}, 0, false
+	}
+	body := b[:2+8+n]
+	want := binary.BigEndian.Uint32(b[2+8+n : total])
+	if crc32.ChecksumIEEE(body) != want {
+		return journalRecord{}, 0, false
+	}
+	return journalRecord{
+		key: string(b[10 : 10+n]),
+		v:   binary.BigEndian.Uint64(b[2:10]),
+	}, total, true
+}
+
+func appendRecord(buf []byte, key string, v uint64) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	buf = binary.BigEndian.AppendUint64(buf, v)
+	buf = append(buf, key...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// save appends a record for key and waits until it is durable (or, without
+// sync, until it is written). Many concurrent saves share one fsync.
+func (j *Journal) save(key string, v uint64) error {
+	if len(key) == 0 || len(key) > journalMaxKey {
+		return fmt.Errorf("%w: length %d", ErrBadKey, len(key))
+	}
+	rec := appendRecord(nil, key, v)
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if j.ioErr != nil {
+		err := j.ioErr
+		j.mu.Unlock()
+		return err
+	}
+	if _, err := j.f.Write(rec); err != nil {
+		// A partial append leaves a torn frame; recovery discards it, but
+		// further appends to this handle would be misframed. Poison the
+		// journal: the caller must reopen.
+		j.ioErr = fmt.Errorf("store: journal append: %w", err)
+		err = j.ioErr
+		j.mu.Unlock()
+		return err
+	}
+	j.appends++
+	j.logSize += int64(len(rec))
+	if cur, seen := j.vals[key]; !seen || v > cur {
+		if !seen {
+			j.snapSize += int64(len(rec))
+		}
+		j.vals[key] = v
+	}
+	mySeq := j.appendSeq
+	j.appendSeq++
+
+	// Compact when the log is both past the threshold and at least twice
+	// what the snapshot would occupy — the second condition keeps a
+	// journal whose key population alone exceeds compactAt from
+	// re-compacting on every save.
+	if j.compactAt > 0 && j.logSize >= j.compactAt && j.logSize >= 2*j.snapSize && !j.syncing {
+		// Compaction makes everything appended so far durable in one shot;
+		// it runs under mu (appends pause), which is fine for a rare,
+		// size-amortized event. Skipped while an fsync is in flight so the
+		// syncer's file handle stays valid.
+		err := j.compactLocked()
+		j.mu.Unlock()
+		return err
+	}
+
+	if !j.sync {
+		j.syncedSeq = j.appendSeq
+		j.mu.Unlock()
+		return nil
+	}
+	return j.commitLocked(mySeq)
+}
+
+// commitLocked implements group commit for the record numbered mySeq; it is
+// entered with mu held and releases it before returning. Whoever finds no
+// fsync in flight becomes the syncer for everything appended so far; the
+// rest wait and re-check.
+func (j *Journal) commitLocked(mySeq uint64) error {
+	for {
+		if j.syncedSeq > mySeq {
+			j.mu.Unlock()
+			return nil
+		}
+		// The poison check must come before syncer election: a record
+		// appended while the failing fsync was in flight has
+		// mySeq >= failedSeq, and letting it sync "successfully" would
+		// acknowledge a record sitting behind the lost pages.
+		if j.ioErr != nil {
+			err := j.ioErr
+			j.mu.Unlock()
+			return err
+		}
+		if j.failedSeq > mySeq {
+			err := j.syncErr
+			j.mu.Unlock()
+			return err
+		}
+		if !j.syncing {
+			j.syncing = true
+			if j.batchDelay > 0 {
+				// Linger so concurrent saves can join this batch. mu is
+				// released: appends proceed during the wait and are covered
+				// by the snapshot below.
+				j.mu.Unlock()
+				time.Sleep(j.batchDelay)
+				j.mu.Lock()
+			}
+			target := j.appendSeq
+			f := j.f
+			j.syncs++
+			j.mu.Unlock()
+
+			err := f.Sync()
+
+			j.mu.Lock()
+			j.syncing = false
+			if err == nil {
+				if target > j.syncedSeq {
+					j.syncedSeq = target
+				}
+			} else {
+				syncErr := fmt.Errorf("store: journal sync: %w", err)
+				if target > j.failedSeq {
+					j.failedSeq = target
+					j.syncErr = syncErr
+				}
+				// Poison the journal: after a failed fsync the kernel may
+				// mark the lost pages clean (fsync reports an error once),
+				// so a LATER fsync can succeed while this batch's records
+				// are holes — recovery would then truncate records we
+				// acknowledged after the failure. Force a reopen instead.
+				if j.ioErr == nil {
+					j.ioErr = syncErr
+				}
+			}
+			j.cond.Broadcast()
+			continue
+		}
+		j.cond.Wait()
+	}
+}
+
+// compactLocked rewrites the journal as one record per key (mu held). The
+// snapshot is written to a temp file, synced, and renamed over the log, so
+// a reset during compaction leaves the old log intact; afterwards every
+// value appended so far is durable.
+func (j *Journal) compactLocked() error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".compact*")
+	if err != nil {
+		return fmt.Errorf("store: journal compact temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(step string, cause error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: journal compact %s: %w", step, cause)
+	}
+
+	buf := make([]byte, 0, journalHeaderLen+len(j.vals)*32)
+	buf = append(buf, journalMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, journalVersion)
+	buf = append(buf, 0, 0)
+	for key, v := range j.vals {
+		buf = appendRecord(buf, key, v)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return fail("write", err)
+	}
+	if j.sync {
+		if err := tmp.Sync(); err != nil {
+			return fail("sync", err)
+		}
+		j.syncs++
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, j.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: journal compact rename: %w", err)
+	}
+	// Past the rename the old log inode is unlinked: any failure before the
+	// handle is swapped must poison the journal, or later appends would
+	// land on the unlinked inode and report durability for writes a reboot
+	// cannot see.
+	if j.sync {
+		if err := syncDir(dir); err != nil {
+			j.ioErr = err
+			return err
+		}
+		j.syncs++
+	}
+
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		j.ioErr = fmt.Errorf("store: journal compact reopen: %w", err)
+		return j.ioErr
+	}
+	j.f.Close()
+	j.f = f
+	j.logSize = int64(len(buf))
+	j.compactions++
+	// The snapshot holds every value ever appended: all outstanding saves
+	// are now durable.
+	if j.appendSeq > j.syncedSeq {
+		j.syncedSeq = j.appendSeq
+	}
+	j.cond.Broadcast()
+	return nil
+}
+
+// fetch returns the recovered/saved value for key.
+func (j *Journal) fetch(key string) (uint64, bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, false, ErrClosed
+	}
+	v, ok := j.vals[key]
+	return v, ok, nil
+}
+
+// Cell returns a Store view of one key: core.Sender and core.Receiver take
+// it wherever a dedicated File store would go, sharing the journal's single
+// fsync stream with every other cell.
+func (j *Journal) Cell(key string) *Cell { return &Cell{j: j, key: key} }
+
+// ClaimCell returns the cell for key after registering an exclusive
+// in-process claim on it. A second ClaimCell for the same key fails with
+// ErrCellClaimed until ReleaseCell: the journal's key namespace is global,
+// so two endpoints writing one cell would interleave counters — claims make
+// that a refusal instead of silent sequence reuse. (Cross-process exclusion
+// is the caller's concern, as with any store file.)
+func (j *Journal) ClaimCell(key string) (*Cell, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, ErrClosed
+	}
+	if j.claims == nil {
+		j.claims = make(map[string]bool)
+	}
+	if j.claims[key] {
+		return nil, fmt.Errorf("%w: %q", ErrCellClaimed, key)
+	}
+	j.claims[key] = true
+	return &Cell{j: j, key: key}, nil
+}
+
+// ReleaseCell drops the exclusive claim on key, if held.
+func (j *Journal) ReleaseCell(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.claims, key)
+}
+
+// Cell is one key of a Journal, seen through the Store interface.
+type Cell struct {
+	j   *Journal
+	key string
+}
+
+var _ Store = (*Cell)(nil)
+
+// Save durably appends v to the journal under the cell's key.
+func (c *Cell) Save(v uint64) error { return c.j.save(c.key, v) }
+
+// Fetch returns the cell's recovered or last saved value.
+func (c *Cell) Fetch() (uint64, bool, error) { return c.j.fetch(c.key) }
+
+// Key returns the cell's journal key.
+func (c *Cell) Key() string { return c.key }
+
+// Close waits for any in-flight group commit, syncs, and closes the log.
+// Further saves and fetches return ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	for j.syncing {
+		j.cond.Wait()
+	}
+	var err error
+	if j.sync && j.ioErr == nil && j.syncedSeq < j.appendSeq {
+		if err = j.f.Sync(); err == nil {
+			j.syncedSeq = j.appendSeq
+		} else {
+			// Record the failure for savers still waiting in commitLocked,
+			// or they would elect themselves syncer over the closed file
+			// and mask the real error.
+			err = fmt.Errorf("store: journal close sync: %w", err)
+			if j.failedSeq < j.appendSeq {
+				j.failedSeq = j.appendSeq
+				j.syncErr = err
+			}
+			j.ioErr = err
+		}
+		j.syncs++
+	}
+	if cerr := j.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: journal close: %w", cerr)
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	return err
+}
+
+// Path returns the backing log path.
+func (j *Journal) Path() string { return j.path }
+
+// Keys returns the number of distinct counters in the journal.
+func (j *Journal) Keys() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.vals)
+}
+
+// LogSize returns the current log size in bytes.
+func (j *Journal) LogSize() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.logSize
+}
+
+// Appends returns the number of records appended through this handle.
+func (j *Journal) Appends() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// Syncs returns the number of fsync calls issued (group commits,
+// compactions, and setup), the quantity group commit exists to minimize.
+func (j *Journal) Syncs() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncs
+}
+
+// Compactions returns the number of completed compactions.
+func (j *Journal) Compactions() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactions
+}
+
+// syncDir fsyncs a directory, making a rename within it durable. On
+// Windows a directory handle cannot be flushed (and NTFS does not expose
+// the same rename-durability model), so it is a no-op there.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("store: close dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,511 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func journalAt(t *testing.T, opts ...JournalOption) *Journal {
+	t.Helper()
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "sa.journal"), opts...)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j
+}
+
+func TestJournalEmptyCellFetch(t *testing.T) {
+	j := journalAt(t)
+	defer j.Close()
+	v, ok, err := j.Cell("tx/1").Fetch()
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if ok || v != 0 {
+		t.Errorf("Fetch on empty cell = (%d, %v), want (0, false)", v, ok)
+	}
+}
+
+func TestJournalSaveFetchRoundTrip(t *testing.T) {
+	j := journalAt(t)
+	defer j.Close()
+	c := j.Cell("tx/1")
+	for _, v := range []uint64{1, 25, 1 << 40, ^uint64(0)} {
+		if err := c.Save(v); err != nil {
+			t.Fatalf("Save(%d): %v", v, err)
+		}
+		got, ok, err := c.Fetch()
+		if err != nil || !ok || got != v {
+			t.Errorf("Fetch = (%d, %v, %v), want (%d, true, nil)", got, ok, err, v)
+		}
+	}
+}
+
+func TestJournalSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sa.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := j.Cell(fmt.Sprintf("tx/%d", i)).Save(uint64(1000 + i)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A fresh handle over the same path models the post-reset FETCH.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if j2.Keys() != 100 {
+		t.Errorf("Keys = %d, want 100", j2.Keys())
+	}
+	for i := 0; i < 100; i++ {
+		got, ok, err := j2.Cell(fmt.Sprintf("tx/%d", i)).Fetch()
+		if err != nil || !ok || got != uint64(1000+i) {
+			t.Errorf("key %d: Fetch = (%d, %v, %v), want (%d, true, nil)", i, got, ok, err, 1000+i)
+		}
+	}
+}
+
+func TestJournalRecoveryKeepsMaxPerKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sa.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	// Appends are not required to be monotone at the journal layer; the
+	// recovered value must be the max, never a stale later append.
+	for _, v := range []uint64{5, 9, 3, 7} {
+		if err := j.Cell("a").Save(v); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if err := j.Cell("b").Save(2); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if v, _, _ := j.Cell("a").Fetch(); v != 9 {
+		t.Errorf("live Fetch(a) = %d, want max 9", v)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if v, _, _ := j2.Cell("a").Fetch(); v != 9 {
+		t.Errorf("recovered Fetch(a) = %d, want max 9", v)
+	}
+	if v, _, _ := j2.Cell("b").Fetch(); v != 2 {
+		t.Errorf("recovered Fetch(b) = %d, want 2", v)
+	}
+}
+
+// corruptAndReopen closes j, mutates its file, reopens, and returns the new
+// handle.
+func corruptAndReopen(t *testing.T, j *Journal, mutate func([]byte) []byte) *Journal {
+	t.Helper()
+	path := j.Path()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o600); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after corruption: %v", err)
+	}
+	return j2
+}
+
+func TestJournalTornTailGarbage(t *testing.T) {
+	j := journalAt(t)
+	for i := uint64(1); i <= 10; i++ {
+		if err := j.Cell("tx/1").Save(i * 10); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	// A reset mid-append leaves a partial frame at the tail.
+	j2 := corruptAndReopen(t, j, func(b []byte) []byte {
+		return append(b, 0xDE, 0xAD, 0xBE)
+	})
+	defer j2.Close()
+	if v, ok, _ := j2.Cell("tx/1").Fetch(); !ok || v != 100 {
+		t.Errorf("Fetch after torn tail = (%d, %v), want (100, true)", v, ok)
+	}
+	// The tail was truncated: appends resume on a clean frame and a second
+	// recovery still parses.
+	if err := j2.Cell("tx/1").Save(110); err != nil {
+		t.Fatalf("Save after recovery: %v", err)
+	}
+	path := j2.Path()
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer j3.Close()
+	if v, _, _ := j3.Cell("tx/1").Fetch(); v != 110 {
+		t.Errorf("Fetch after append-over-truncation = %d, want 110", v)
+	}
+}
+
+func TestJournalTruncatedMidRecord(t *testing.T) {
+	j := journalAt(t)
+	if err := j.Cell("a").Save(7); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := j.Cell("b").Save(8); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	j2 := corruptAndReopen(t, j, func(b []byte) []byte {
+		return b[:len(b)-3] // tear the last record
+	})
+	defer j2.Close()
+	if v, ok, _ := j2.Cell("a").Fetch(); !ok || v != 7 {
+		t.Errorf("Fetch(a) = (%d, %v), want (7, true): earlier record lost", v, ok)
+	}
+	if _, ok, _ := j2.Cell("b").Fetch(); ok {
+		t.Error("Fetch(b) ok after its record was torn, want not-present")
+	}
+}
+
+// TestJournalMidLogCorruption covers both recovery modes for a bad frame
+// with valid records behind it: the tolerant default truncates from the
+// bad frame (WAL-style crash repair — the suffix was never acknowledged),
+// and JournalStrictRecovery refuses with ErrCorrupt (surfacing possible
+// media damage to already-durable records).
+func TestJournalMidLogCorruption(t *testing.T) {
+	j := journalAt(t)
+	if err := j.Cell("a").Save(7); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := j.Cell("b").Save(8); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := j.Path()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	flips := map[string]int{
+		"value byte":  journalHeaderLen + 5,
+		"length byte": journalHeaderLen + 1, // misframes the whole suffix
+	}
+	for name, idx := range flips {
+		t.Run(name, func(t *testing.T) {
+			data := append([]byte(nil), orig...)
+			data[idx] ^= 0xFF
+			if err := os.WriteFile(path, data, 0o600); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if _, err := OpenJournal(path, JournalStrictRecovery()); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("strict OpenJournal (%s) = %v, want ErrCorrupt", name, err)
+			}
+			j2, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("tolerant OpenJournal (%s): %v", name, err)
+			}
+			defer j2.Close()
+			if _, ok, _ := j2.Cell("a").Fetch(); ok {
+				t.Errorf("tolerant recovery (%s): Fetch(a) ok, want truncated away", name)
+			}
+			if _, ok, _ := j2.Cell("b").Fetch(); ok {
+				t.Errorf("tolerant recovery (%s): Fetch(b) ok, want truncated away", name)
+			}
+		})
+	}
+}
+
+// TestJournalFullLengthGarbageTail: writeback filesystems can persist a
+// file's size before its data, so a crash can leave a full frame of
+// garbage at the tail. With nothing valid after it, that is a tear —
+// recovery must truncate it, not refuse the journal.
+func TestJournalFullLengthGarbageTail(t *testing.T) {
+	j := journalAt(t)
+	if err := j.Cell("a").Save(7); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	j2 := corruptAndReopen(t, j, func(b []byte) []byte {
+		// A zeroed "record": keyLen 0 frames 14 bytes, CRC mismatches.
+		return append(b, make([]byte, 14)...)
+	})
+	defer j2.Close()
+	if v, ok, _ := j2.Cell("a").Fetch(); !ok || v != 7 {
+		t.Errorf("Fetch(a) after garbage tail = (%d, %v), want (7, true)", v, ok)
+	}
+	if err := j2.Cell("a").Save(8); err != nil {
+		t.Fatalf("Save after truncation: %v", err)
+	}
+}
+
+func TestJournalCorruptHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sa.journal")
+	if err := os.WriteFile(path, []byte("XXXXXXXXXXXX"), 0o600); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := OpenJournal(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("OpenJournal on bad magic = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalClaimCell(t *testing.T) {
+	j := journalAt(t)
+	defer j.Close()
+	c, err := j.ClaimCell("tx/1")
+	if err != nil {
+		t.Fatalf("ClaimCell: %v", err)
+	}
+	if err := c.Save(5); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := j.ClaimCell("tx/1"); !errors.Is(err, ErrCellClaimed) {
+		t.Errorf("second ClaimCell = %v, want ErrCellClaimed", err)
+	}
+	if _, err := j.ClaimCell("tx/2"); err != nil {
+		t.Errorf("ClaimCell on other key = %v, want nil", err)
+	}
+	j.ReleaseCell("tx/1")
+	if _, err := j.ClaimCell("tx/1"); err != nil {
+		t.Errorf("ClaimCell after release = %v, want nil", err)
+	}
+}
+
+func TestJournalBadKey(t *testing.T) {
+	j := journalAt(t)
+	defer j.Close()
+	if err := j.Cell("").Save(1); !errors.Is(err, ErrBadKey) {
+		t.Errorf("empty key Save = %v, want ErrBadKey", err)
+	}
+	long := make([]byte, journalMaxKey+1)
+	if err := j.Cell(string(long)).Save(1); !errors.Is(err, ErrBadKey) {
+		t.Errorf("oversized key Save = %v, want ErrBadKey", err)
+	}
+}
+
+func TestJournalClosed(t *testing.T) {
+	j := journalAt(t)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Cell("a").Save(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Save after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := j.Cell("a").Fetch(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Fetch after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sa.journal")
+	j, err := OpenJournal(path, JournalCompactAt(2048))
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	const keys = 10
+	for round := uint64(1); round <= 100; round++ {
+		for k := 0; k < keys; k++ {
+			if err := j.Cell(fmt.Sprintf("tx/%d", k)).Save(round * 100); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+		}
+	}
+	if j.Compactions() == 0 {
+		t.Error("Compactions = 0, want > 0 for a 1000-record log capped at 2KB")
+	}
+	if size := j.LogSize(); size > 4096 {
+		t.Errorf("LogSize = %d after compaction, want bounded (<= 4096)", size)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	for k := 0; k < keys; k++ {
+		got, ok, err := j2.Cell(fmt.Sprintf("tx/%d", k)).Fetch()
+		if err != nil || !ok || got != 10000 {
+			t.Errorf("key %d after compaction+reopen = (%d, %v, %v), want (10000, true, nil)", k, got, ok, err)
+		}
+	}
+}
+
+// TestJournalCompactionNoThrash: when the key population alone outgrows
+// the compaction threshold, compaction must not re-trigger on every save —
+// the log only compacts once it doubles the snapshot size.
+func TestJournalCompactionNoThrash(t *testing.T) {
+	// 100 keys x ~20 bytes ≈ 2KB snapshot, well past the 256-byte
+	// threshold; the old trigger would compact on every save.
+	j := journalAt(t, JournalCompactAt(256))
+	const keys, rounds = 100, 20
+	for r := uint64(1); r <= rounds; r++ {
+		for k := 0; k < keys; k++ {
+			if err := j.Cell(fmt.Sprintf("sa/%03d", k)).Save(r); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+		}
+	}
+	saves := uint64(keys * rounds)
+	if c := j.Compactions(); c == 0 || c > saves/10 {
+		t.Errorf("Compactions = %d over %d saves, want amortized (0 < c <= %d)", c, saves, saves/10)
+	}
+	for k := 0; k < keys; k++ {
+		if v, ok, _ := j.Cell(fmt.Sprintf("sa/%03d", k)).Fetch(); !ok || v != rounds {
+			t.Errorf("key %d = (%d, %v), want (%d, true)", k, v, ok, rounds)
+		}
+	}
+	j.Close()
+}
+
+// TestJournalNoCounterRegression is the acceptance property: across a crash
+// (reopen, possibly with a torn tail), every key's fetched value must be >=
+// the last value whose SAVE was acknowledged — otherwise the wake-up leap
+// no longer covers the gap and sequence numbers could be reused.
+func TestJournalNoCounterRegression(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		name := "clean"
+		if torn {
+			name = "torn-tail"
+		}
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "sa.journal")
+			j, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("OpenJournal: %v", err)
+			}
+			pool := NewSaverPool(8)
+
+			const nKeys = 64
+			acked := make([]uint64, nKeys) // last acknowledged save per key
+			var ackMu sync.Mutex
+			var wg sync.WaitGroup
+			savers := make([]*PoolSaver, nKeys)
+			for k := 0; k < nKeys; k++ {
+				savers[k] = pool.Saver(j.Cell(fmt.Sprintf("sa/%03d", k)))
+			}
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 2000; i++ {
+				k := rng.Intn(nKeys)
+				v := uint64(i + 1)
+				wg.Add(1)
+				savers[k].StartSave(v, func(err error) {
+					defer wg.Done()
+					if err != nil {
+						t.Errorf("save key %d: %v", k, err)
+						return
+					}
+					ackMu.Lock()
+					if v > acked[k] {
+						acked[k] = v
+					}
+					ackMu.Unlock()
+				})
+			}
+			wg.Wait()
+			pool.Close()
+			j.Close()
+
+			if torn {
+				f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+				if err != nil {
+					t.Fatalf("open for tear: %v", err)
+				}
+				if _, err := f.Write([]byte{0x01, 0x02}); err != nil {
+					t.Fatalf("tear: %v", err)
+				}
+				f.Close()
+			}
+
+			j2, err := OpenJournal(path)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer j2.Close()
+			for k := 0; k < nKeys; k++ {
+				if acked[k] == 0 {
+					continue
+				}
+				got, ok, err := j2.Cell(fmt.Sprintf("sa/%03d", k)).Fetch()
+				if err != nil || !ok {
+					t.Fatalf("key %d: Fetch = (ok=%v, err=%v)", k, ok, err)
+				}
+				if got < acked[k] {
+					t.Errorf("key %d: recovered %d < last acknowledged save %d — counter regressed", k, got, acked[k])
+				}
+			}
+		})
+	}
+}
+
+// TestJournalGroupCommit: concurrent saves must share fsyncs — that is the
+// journal's reason to exist.
+func TestJournalGroupCommit(t *testing.T) {
+	j := journalAt(t, JournalBatchDelay(200*time.Microsecond))
+	defer j.Close()
+	base := j.Syncs()
+	const goroutines, saves = 16, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := j.Cell(fmt.Sprintf("tx/%d", g))
+			for i := 1; i <= saves; i++ {
+				if err := c.Save(uint64(i)); err != nil {
+					t.Errorf("Save: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := goroutines * saves
+	syncs := j.Syncs() - base
+	if syncs == 0 {
+		t.Fatal("Syncs = 0, want > 0 (durable saves must fsync)")
+	}
+	if syncs >= uint64(total) {
+		t.Errorf("Syncs = %d for %d saves, want group commit to share fsyncs", syncs, total)
+	}
+	if j.Appends() != uint64(total) {
+		t.Errorf("Appends = %d, want %d", j.Appends(), total)
+	}
+}
+
+func TestJournalWithoutSync(t *testing.T) {
+	j := journalAt(t, JournalWithoutSync())
+	defer j.Close()
+	if err := j.Cell("a").Save(4); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got := j.Syncs(); got != 0 {
+		t.Errorf("Syncs = %d with JournalWithoutSync, want 0", got)
+	}
+	if v, ok, _ := j.Cell("a").Fetch(); !ok || v != 4 {
+		t.Errorf("Fetch = (%d, %v), want (4, true)", v, ok)
+	}
+}

@@ -1,0 +1,147 @@
+package store
+
+import "sync"
+
+// SaverPool executes background SAVEs for many stores on a bounded set of
+// workers — the gateway-scale replacement for one AsyncSaver goroutine per
+// SA. Each store gets a PoolSaver handle with the same drain-the-queue,
+// persist-only-the-maximum coalescing AsyncSaver performs, and the same
+// monotonicity invariant: a handle is processed by at most one worker at a
+// time, so a stale value can never land after a newer one.
+//
+// With 100k SAs a pool of a few workers bounds goroutines and keeps the
+// durable medium's queue short, and when the stores are cells of one
+// Journal the concurrent worker saves group-commit into shared fsyncs.
+type SaverPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*PoolSaver // handles with pending work, each present at most once
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// DefaultPoolWorkers is the worker count NewSaverPool uses when given <= 0.
+const DefaultPoolWorkers = 8
+
+// NewSaverPool starts a pool of the given number of workers (<= 0 means
+// DefaultPoolWorkers).
+func NewSaverPool(workers int) *SaverPool {
+	if workers <= 0 {
+		workers = DefaultPoolWorkers
+	}
+	p := &SaverPool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Saver returns a BackgroundSaver-compatible handle persisting to st
+// through the pool.
+func (p *SaverPool) Saver(st Store) *PoolSaver {
+	return &PoolSaver{pool: p, st: st}
+}
+
+// PoolSaver queues saves for one store onto its pool. It satisfies
+// core.BackgroundSaver.
+type PoolSaver struct {
+	pool *SaverPool
+	st   Store
+
+	mu      sync.Mutex
+	pending []pendingSave
+	active  bool // enqueued on the pool or being drained by a worker
+}
+
+// StartSave queues v for persistence. done, if non-nil, is called exactly
+// once (from a pool worker) with the result of the save that covered v.
+// After the pool is closed, done is invoked synchronously with ErrClosed.
+func (s *PoolSaver) StartSave(v uint64, done func(error)) {
+	s.mu.Lock()
+	s.pending = append(s.pending, pendingSave{v: v, done: done})
+	enqueue := !s.active
+	s.active = true
+	s.mu.Unlock()
+
+	if !enqueue {
+		return // a worker (or the queue) already owns this handle
+	}
+	s.pool.mu.Lock()
+	if s.pool.closed {
+		s.pool.mu.Unlock()
+		s.fail(ErrClosed)
+		return
+	}
+	s.pool.queue = append(s.pool.queue, s)
+	s.pool.cond.Signal()
+	s.pool.mu.Unlock()
+}
+
+// fail drains the handle's pending saves with err, without a worker.
+func (s *PoolSaver) fail(err error) {
+	s.mu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.active = false
+	s.mu.Unlock()
+	for _, ps := range batch {
+		if ps.done != nil {
+			ps.done(err)
+		}
+	}
+}
+
+// drain persists the handle's queued saves, coalescing each batch to its
+// maximum, until none remain. Only the owning worker runs this, so saves
+// for one store never race and the durable value only grows.
+func (s *PoolSaver) drain() {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 {
+			s.active = false
+			s.mu.Unlock()
+			return
+		}
+		batch := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+
+		saveBatch(s.st, batch)
+	}
+}
+
+func (p *SaverPool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			// Closed and drained.
+			p.mu.Unlock()
+			return
+		}
+		h := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		h.drain()
+	}
+}
+
+// Close drains every queued save and stops the workers. Saves started after
+// Close complete synchronously with ErrClosed.
+func (p *SaverPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -27,6 +27,11 @@ var (
 	ErrClosed = errors.New("store: closed")
 	// ErrInjected is the default error produced by fault injection.
 	ErrInjected = errors.New("store: injected fault")
+	// ErrBadKey reports an empty or over-long journal key.
+	ErrBadKey = errors.New("store: bad journal key")
+	// ErrCellClaimed reports a ClaimCell on a journal key another owner in
+	// this process already holds.
+	ErrCellClaimed = errors.New("store: journal cell already claimed")
 )
 
 // Store is a durable cell holding one sequence number.

@@ -182,6 +182,35 @@ func TestFileNoTempLeftovers(t *testing.T) {
 	}
 }
 
+// TestFileSaveSyncsDirectory: the rename that commits a save is itself only
+// durable once the parent directory is synced; Save must issue both fsyncs
+// (temp file + directory) unless WithoutSync.
+func TestFileSaveSyncsDirectory(t *testing.T) {
+	f := fileStore(t)
+	if err := f.Save(1); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got := f.Syncs(); got != 2 {
+		t.Errorf("Syncs after one save = %d, want 2 (temp file + directory)", got)
+	}
+	if err := f.Save(2); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got := f.Syncs(); got != 4 {
+		t.Errorf("Syncs after two saves = %d, want 4", got)
+	}
+}
+
+func TestFileWithoutSyncNoSyncs(t *testing.T) {
+	f := NewFile(filepath.Join(t.TempDir(), "seq.dat"), WithoutSync())
+	if err := f.Save(1); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got := f.Syncs(); got != 0 {
+		t.Errorf("Syncs with WithoutSync = %d, want 0", got)
+	}
+}
+
 func TestFileWithoutSync(t *testing.T) {
 	f := NewFile(filepath.Join(t.TempDir(), "seq.dat"), WithoutSync())
 	if err := f.Save(5); err != nil {

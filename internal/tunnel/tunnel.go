@@ -119,7 +119,7 @@ func (p *Peer) install(outSPI uint32, outKeys ipsec.KeyMaterial, inSPI uint32, i
 	// StrictHorizon is on for both directions: the tunnel is the
 	// production-facing composition, and the guard makes the paper's
 	// no-duplicate-delivery theorem unconditional (see the receiver-side
-	// analysis gap documented in DESIGN.md) at the cost of backpressure /
+	// analysis gap documented in README.md) at the cost of backpressure /
 	// bounded drops when persistence lags.
 	snd, err := core.NewSender(core.SenderConfig{
 		K: p.cfg.K, Store: txStore, Saver: txSaver,
