@@ -93,6 +93,12 @@ func SizeK(tSave, tSend time.Duration) uint64 { return core.SizeK(tSave, tSend) 
 // NewBitmapWindow returns an RFC 6479-style anti-replay window of width w.
 func NewBitmapWindow(w int) Window { return seqwin.NewBitmap(w) }
 
+// NewAtomicWindow returns a concurrency-safe anti-replay window of width w
+// (Linux-xfrm/WireGuard style: CAS edge advances, atomic bit-sets). Passing
+// it — or setting ReceiverConfig.Concurrent — enables the Receiver's
+// lock-minimizing admission fast path.
+func NewAtomicWindow(w int) Window { return seqwin.NewAtomic(w) }
+
 // NewPaperWindow returns the paper's boolean-array window of width w
 // (identical behaviour, transliterated from the §2 specification).
 func NewPaperWindow(w int) Window { return seqwin.NewBool(w) }

@@ -25,6 +25,9 @@ type (
 	SPD = ipsec.SPD
 	// Selector matches traffic to policies by address prefixes.
 	Selector = ipsec.Selector
+	// VerifyResult is the per-packet outcome of the batched inbound path
+	// (InboundSA.VerifyBatch, Gateway.VerifyBatch).
+	VerifyResult = ipsec.VerifyResult
 )
 
 // Lifetime states.
@@ -52,6 +55,9 @@ var (
 	ErrUnknownSPI = ipsec.ErrUnknownSPI
 	// ErrHardExpired reports an SA past its hard lifetime.
 	ErrHardExpired = ipsec.ErrHardExpired
+	// ErrSeqExhausted reports a non-ESN outbound SA that has consumed the
+	// 32-bit sequence space and must be rekeyed.
+	ErrSeqExhausted = ipsec.ErrSeqExhausted
 	// ErrShortPacket reports an unparseable packet.
 	ErrShortPacket = ipsec.ErrShortPacket
 	// ErrNoPolicy reports outbound traffic with no SPD match.
@@ -62,9 +68,12 @@ var (
 	ErrKeySize = ipsec.ErrKeySize
 )
 
-// NewOutboundSA builds an outbound SA over a reset-resilient sender.
-func NewOutboundSA(spi uint32, keys KeyMaterial, sender *core.Sender, life Lifetime, clock func() time.Duration) (*OutboundSA, error) {
-	return ipsec.NewOutboundSA(spi, keys, sender, life, clock)
+// NewOutboundSA builds an outbound SA over a reset-resilient sender. esn
+// declares whether the peer reconstructs 64-bit extended sequence numbers;
+// without it Seal hard-fails with ErrSeqExhausted before the 32-bit wire
+// sequence number can wrap (RFC 4303 forbids reuse).
+func NewOutboundSA(spi uint32, keys KeyMaterial, sender *core.Sender, esn bool, life Lifetime, clock func() time.Duration) (*OutboundSA, error) {
+	return ipsec.NewOutboundSA(spi, keys, sender, esn, life, clock)
 }
 
 // NewInboundSA builds an inbound SA over a reset-resilient receiver.

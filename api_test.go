@@ -218,7 +218,7 @@ func TestPublicESPPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, antireplay.Lifetime{}, nil)
+	out, err := antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, false, antireplay.Lifetime{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,6 +53,19 @@
 // and Gateway binds a lock-striped SAD and an SPD to both (see README.md,
 // "Journal design notes").
 //
+// The per-packet datapath is concurrency-first. NewAtomicWindow (or
+// ReceiverConfig.Concurrent) selects a Linux-xfrm/WireGuard-style
+// anti-replay window whose admissions are CAS- and fetch-OR-based, and the
+// Receiver then runs a lock-minimizing fast path: concurrent Admits never
+// serialize on the receiver mutex, which is reserved for reset/wake
+// transitions and SAVE triggers. The batched entry points —
+// OutboundSA.SealBatch and Sender.NextN outbound, InboundSA.VerifyBatch
+// and Gateway.VerifyBatch/SealBatch inbound — amortize lock acquisitions,
+// lifetime checks, and save triggers across a packet burst, returning
+// per-packet VerifyResult values. Sequence exhaustion is a hard error: a
+// non-ESN outbound SA refuses to wrap the 32-bit wire sequence number
+// (ErrSeqExhausted) instead of silently reusing it, per RFC 4303.
+//
 // The paper's receiver-side theorem additionally requires that the window
 // edge advance at most Kq numbers per save interval — an assumption message
 // loss can break (see README.md's analysis-gap note and the "horizon"

@@ -64,7 +64,7 @@ func ExampleEstablishSA() {
 	var txStore, rxStore antireplay.MemStore
 	snd, _ := antireplay.NewSender(antireplay.SenderConfig{K: 25, Store: &txStore})
 	rcv, _ := antireplay.NewReceiver(antireplay.ReceiverConfig{K: 25, W: 64, Store: &rxStore})
-	out, _ := antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, antireplay.Lifetime{}, nil)
+	out, _ := antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, false, antireplay.Lifetime{}, nil)
 	in, _ := antireplay.NewInboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, rcv, true, antireplay.Lifetime{}, nil)
 
 	wire, _ := out.Seal([]byte("through the tunnel"))

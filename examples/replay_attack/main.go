@@ -68,7 +68,7 @@ func run(baseline bool) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := antireplay.NewOutboundSA(0xBEEF, keys, snd, antireplay.Lifetime{}, nil)
+	out, err := antireplay.NewOutboundSA(0xBEEF, keys, snd, false, antireplay.Lifetime{}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

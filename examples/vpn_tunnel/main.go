@@ -73,7 +73,7 @@ func main() {
 		return r
 	}
 
-	east.out, err = antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, newSender(), antireplay.Lifetime{}, now)
+	east.out, err = antireplay.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, newSender(), false, antireplay.Lifetime{}, now)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	west.out, err = antireplay.NewOutboundSA(res.Keys.SPIRespToInit, res.Keys.RespToInit, newSender(), antireplay.Lifetime{}, now)
+	west.out, err = antireplay.NewOutboundSA(res.Keys.SPIRespToInit, res.Keys.RespToInit, newSender(), false, antireplay.Lifetime{}, now)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"antireplay/internal/store"
+)
+
+func newFastReceiver(t *testing.T, cfg ReceiverConfig) (*Receiver, *store.Mem) {
+	t.Helper()
+	var m store.Mem
+	cfg.Store = &m
+	cfg.Concurrent = true
+	r, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+	if r.fastWin == nil {
+		t.Fatal("Concurrent config did not enable the fast path")
+	}
+	return r, &m
+}
+
+// TestFastPathDifferential drives the same serial stream through a mutex
+// (Bitmap) receiver and a fast-path (Atomic) receiver, including resets and
+// wakes, and requires identical verdict sequences and saved values.
+func TestFastPathDifferential(t *testing.T) {
+	var mMutex, mFast store.Mem
+	mutexR, err := NewReceiver(ReceiverConfig{K: 10, W: 64, Store: &mMutex})
+	if err != nil {
+		t.Fatalf("NewReceiver(mutex): %v", err)
+	}
+	fastR, err := NewReceiver(ReceiverConfig{K: 10, W: 64, Store: &mFast, Concurrent: true})
+	if err != nil {
+		t.Fatalf("NewReceiver(fast): %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	base := uint64(1)
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(2000) == 0 {
+			mutexR.Reset()
+			fastR.Reset()
+			mutexR.Wake()
+			fastR.Wake()
+			continue
+		}
+		var s uint64
+		switch rng.Intn(10) {
+		case 0:
+			s = base + uint64(rng.Intn(200))
+		case 1:
+			d := uint64(rng.Intn(100))
+			if d >= base {
+				s = 1
+			} else {
+				s = base - d
+			}
+		default:
+			s = base + uint64(rng.Intn(4))
+		}
+		if s > base {
+			base = s
+		}
+		vm, vf := mutexR.Admit(s), fastR.Admit(s)
+		if vm != vf {
+			t.Fatalf("step %d: Admit(%d): mutex=%v fast=%v", i, s, vm, vf)
+		}
+		if me, fe := mutexR.Edge(), fastR.Edge(); me != fe {
+			t.Fatalf("step %d: edge: mutex=%d fast=%d", i, me, fe)
+		}
+	}
+	sm, sf := mutexR.Stats(), fastR.Stats()
+	if sm.Delivered != sf.Delivered || sm.Discarded != sf.Discarded {
+		t.Errorf("stats diverged: mutex=%+v fast=%+v", sm, sf)
+	}
+	vm, _ := mMutex.Peek()
+	vf, _ := mFast.Peek()
+	if vm != vf {
+		t.Errorf("saved edge diverged: mutex=%d fast=%d", vm, vf)
+	}
+}
+
+// TestFastPathConcurrentExactlyOnce hammers the fast path from many
+// goroutines while resets and wakes fire concurrently; no sequence number
+// may ever be delivered twice across the whole history. Run with -race.
+func TestFastPathConcurrentExactlyOnce(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 10000
+		span       = 64 * goroutines * perG
+	)
+	r, _ := newFastReceiver(t, ReceiverConfig{K: 50, W: 256})
+
+	var delivered sync.Map // seq -> struct{}
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*17 + 1))
+			for i := 0; i < perG; i++ {
+				s := next.Add(1)
+				if rng.Intn(4) == 0 { // replay something recent
+					d := uint64(rng.Intn(300) + 1)
+					if d < s {
+						s -= d
+					}
+				}
+				if s > span {
+					s = span
+				}
+				if r.Admit(s).Delivered() {
+					if _, dup := delivered.LoadOrStore(s, struct{}{}); dup {
+						t.Errorf("sequence %d delivered twice", s)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// One goroutine cycles reset/wake under load: the fast path must hand
+	// off cleanly at every lifecycle transition. The cycle count is bounded
+	// and yields between cycles so admitters keep making progress.
+	stop := make(chan struct{})
+	var cycles sync.WaitGroup
+	cycles.Add(1)
+	go func() {
+		defer cycles.Done()
+		for i := 0; i < 200; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Reset()
+			r.Wake()
+			for y := 0; y < 50; y++ {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	cycles.Wait()
+
+	// After a wake the window re-admits nothing it delivered before: replay
+	// the entire delivered set and require zero deliveries.
+	r.Reset()
+	r.Wake()
+	delivered.Range(func(k, _ any) bool {
+		if v := r.Admit(k.(uint64)); v.Delivered() {
+			t.Errorf("post-wake replay of %d delivered (verdict %v)", k.(uint64), v)
+			return false
+		}
+		return true
+	})
+}
+
+// TestFastPathStrictHorizon verifies the fast path never delivers at or
+// beyond committed+leap: horizon messages fall back to the slow path and
+// come back VerdictHorizon, exactly as the mutex path decides.
+func TestFastPathStrictHorizon(t *testing.T) {
+	block := make(chan struct{})
+	var m store.Mem
+	saver := &gatedSaver{inner: SyncSaver{Store: &m}, gate: block}
+	r, err := NewReceiver(ReceiverConfig{
+		K: 10, W: 64, Store: &m, Saver: saver,
+		StrictHorizon: true, Concurrent: true,
+	})
+	if err != nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+	// committed = 0, leap = 2K = 20: numbers below 20 deliver, 20+ discard.
+	for s := uint64(1); s < 20; s++ {
+		if v := r.Admit(s); !v.Delivered() {
+			t.Fatalf("Admit(%d) = %v below horizon, want delivery", s, v)
+		}
+	}
+	if v := r.Admit(20); v != VerdictHorizon {
+		t.Fatalf("Admit(20) = %v at horizon with saves blocked, want horizon", v)
+	}
+	close(block) // let the queued saves land
+	saver.wait()
+	// committed advanced; the stream resumes.
+	if v := r.Admit(21); !v.Delivered() {
+		t.Errorf("Admit(21) after save landed = %v, want delivery", v)
+	}
+}
+
+// gatedSaver delays every save until the gate closes, then saves
+// synchronously; it makes horizon scenarios deterministic.
+type gatedSaver struct {
+	inner SyncSaver
+	gate  <-chan struct{}
+	wg    sync.WaitGroup
+}
+
+func (g *gatedSaver) StartSave(v uint64, done func(error)) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		<-g.gate
+		g.inner.StartSave(v, done)
+	}()
+}
+
+func (g *gatedSaver) wait() { g.wg.Wait() }
+
+// TestFastPathTriggersSaves checks the "edge advanced >= K" SAVE trigger
+// still fires from the fast path: a long in-order stream must keep lst
+// within K of the edge and actually persist values.
+func TestFastPathTriggersSaves(t *testing.T) {
+	r, m := newFastReceiver(t, ReceiverConfig{K: 25, W: 64})
+	for s := uint64(1); s <= 1000; s++ {
+		r.Admit(s)
+	}
+	if got := r.LastStored(); got < 1000-25 {
+		t.Errorf("lst = %d after 1000 in-order admits with K=25, want >= %d", got, 1000-25)
+	}
+	if v, ok := m.Peek(); !ok || v < 1000-25 {
+		t.Errorf("persisted edge = %d (ok=%v), want >= %d", v, ok, 1000-25)
+	}
+	st := r.Stats()
+	if st.SavesStarted < 30 {
+		t.Errorf("SavesStarted = %d, want roughly 1000/25 = 40", st.SavesStarted)
+	}
+}
+
+// TestFastPathConcurrentSaves runs the fast path with background-style
+// saves under -race, then resets and wakes: the recovered edge must leap
+// past everything delivered, so no pre-reset number is re-accepted.
+func TestFastPathConcurrentSaves(t *testing.T) {
+	const goroutines = 4
+	r, _ := newFastReceiver(t, ReceiverConfig{K: 20, W: 128})
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Admit(next.Add(1))
+			}
+		}()
+	}
+	wg.Wait()
+	high := next.Load()
+	r.Reset()
+	r.Wake()
+	if r.State() != StateUp {
+		t.Fatalf("receiver not up after wake: %v", r.LastWakeError())
+	}
+	if edge := r.Edge(); edge < high {
+		// lst trails the live edge by at most K=20 and the wake adds 2K=40,
+		// so the recovered edge can never fall below the pre-reset edge.
+		t.Errorf("post-wake edge %d below pre-reset edge %d", edge, high)
+	}
+	for s := uint64(1); s <= high; s += 97 {
+		if v := r.Admit(s); v.Delivered() {
+			t.Errorf("pre-reset number %d re-delivered after wake (verdict %v)", s, v)
+		}
+	}
+}
+
+func TestNextNBatchedReservation(t *testing.T) {
+	var m store.Mem
+	x, err := NewSender(SenderConfig{K: 25, Store: &m})
+	if err != nil {
+		t.Fatalf("NewSender: %v", err)
+	}
+	first, n, err := x.NextN(10)
+	if err != nil || first != 1 || n != 10 {
+		t.Fatalf("NextN(10) = (%d, %d, %v), want (1, 10, nil)", first, n, err)
+	}
+	seq, err := x.Next()
+	if err != nil || seq != 11 {
+		t.Fatalf("Next after NextN = (%d, %v), want (11, nil)", seq, err)
+	}
+	if first, n, err = x.NextN(0); first != 0 || n != 0 || err != nil {
+		t.Errorf("NextN(0) = (%d, %d, %v), want (0, 0, nil)", first, n, err)
+	}
+	st := x.Stats()
+	if st.Sent != 11 {
+		t.Errorf("Sent = %d, want 11", st.Sent)
+	}
+}
+
+func TestNextNHorizonTruncates(t *testing.T) {
+	block := make(chan struct{})
+	var m store.Mem
+	saver := &gatedSaver{inner: SyncSaver{Store: &m}, gate: block}
+	x, err := NewSender(SenderConfig{K: 10, Store: &m, Saver: saver, StrictHorizon: true})
+	if err != nil {
+		t.Fatalf("NewSender: %v", err)
+	}
+	// committed = 1, leap = 20: horizon is 21, so 20 numbers are available.
+	first, n, err := x.NextN(100)
+	if err != nil || first != 1 || n != 20 {
+		t.Fatalf("NextN(100) = (%d, %d, %v), want truncation to (1, 20, nil)", first, n, err)
+	}
+	if _, _, err = x.NextN(5); err != ErrSaveLag {
+		t.Fatalf("NextN at horizon = %v, want ErrSaveLag", err)
+	}
+	close(block)
+	saver.wait()
+	if _, n, err = x.NextN(5); err != nil || n != 5 {
+		t.Errorf("NextN after save landed = (n=%d, %v), want full grant", n, err)
+	}
+}
+
+func TestNextNDownAndWaking(t *testing.T) {
+	var m store.Mem
+	x, err := NewSender(SenderConfig{K: 5, Store: &m})
+	if err != nil {
+		t.Fatalf("NewSender: %v", err)
+	}
+	x.Reset()
+	if _, _, err := x.NextN(3); err != ErrDown {
+		t.Errorf("NextN while down = %v, want ErrDown", err)
+	}
+	x.Wake()
+	if _, n, err := x.NextN(3); err != nil || n != 3 {
+		t.Errorf("NextN after wake = (n=%d, %v), want full grant", n, err)
+	}
+}
+
+// failOnceSaver fails the first StartSave and saves synchronously after.
+type failOnceSaver struct {
+	inner  SyncSaver
+	failed atomic.Bool
+}
+
+func (f *failOnceSaver) StartSave(v uint64, done func(error)) {
+	if !f.failed.Swap(true) {
+		done(errFlaky)
+		return
+	}
+	f.inner.StartSave(v, done)
+}
+
+var errFlaky = errors.New("flaky medium")
+
+// TestFailedSaveRetriesSameValue pins the saveHi rollback in saveDone: after
+// a failed horizon-extension save, a retransmission re-triggering the SAME
+// save value must be handed to the saver again — not deduplicated as
+// "already on its way" — or the horizon never extends and the stream wedges.
+func TestFailedSaveRetriesSameValue(t *testing.T) {
+	var m store.Mem
+	saver := &failOnceSaver{inner: SyncSaver{Store: &m}}
+	r, err := NewReceiver(ReceiverConfig{
+		K: 10, W: 64, Store: &m, Saver: saver, StrictHorizon: true, Concurrent: true,
+	})
+	if err != nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+	// Horizon = committed(0) + 2K(20): 25 lands beyond it, triggering the
+	// horizon-extension save, which fails once.
+	if v := r.Admit(25); v != VerdictHorizon {
+		t.Fatalf("Admit(25) = %v, want horizon", v)
+	}
+	// The retransmission must re-trigger the same save; with the dedup
+	// watermark stuck this second save would be dropped and 25 discarded
+	// forever.
+	if v := r.Admit(25); v != VerdictHorizon {
+		t.Fatalf("retransmitted Admit(25) = %v, want horizon (save retried in background)", v)
+	}
+	if v := r.Admit(25); !v.Delivered() {
+		t.Fatalf("Admit(25) after retried save landed = %v, want delivery", v)
+	}
+	if st := r.Stats(); st.SavesFailed != 1 || st.SavesOK == 0 {
+		t.Errorf("stats = %+v, want exactly one failed and at least one ok save", st)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"antireplay/internal/seqwin"
@@ -92,10 +93,19 @@ type ReceiverConfig struct {
 	// Negative disables the leap (ablation only; unsafe).
 	LeapFactor float64
 	// W is the anti-replay window width used when Window is nil
-	// (a seqwin.Bitmap is created). Defaults to 64.
+	// (a seqwin.Bitmap is created, or a seqwin.Atomic with Concurrent).
+	// Defaults to 64.
 	W int
 	// Window overrides the window implementation.
 	Window seqwin.Window
+	// Concurrent selects a seqwin.Atomic window when Window is nil, which
+	// enables the lock-minimizing admission fast path: in-window and
+	// in-order messages are admitted with atomic operations under a shared
+	// read gate, falling back to the receiver mutex only for reset/wake
+	// transitions, SAVE triggers, and strict-horizon discards. A
+	// caller-provided Window enables the same fast path when it implements
+	// seqwin.ConcurrentWindow.
+	Concurrent bool
 	// Store is the durable cell holding the saved edge. Required unless
 	// Baseline is set.
 	Store store.Store
@@ -164,23 +174,49 @@ func (c ReceiverConfig) Validate() error {
 
 // Receiver is the paper's process q: an anti-replay window with SAVE/FETCH
 // persistence of the right edge. Safe for concurrent use.
+//
+// With a concurrency-safe window (ReceiverConfig.Concurrent, or any Window
+// implementing seqwin.ConcurrentWindow) the receiver admits in-window and
+// in-order messages on a lock-minimizing fast path: the verdict comes from
+// the window's own atomic admission while holding only a shared read gate,
+// so concurrent Admits on different sequence numbers never serialize. The
+// full mutex is taken only for lifecycle transitions (Reset/Wake), for the
+// "edge advanced >= K" SAVE trigger, and for strict-horizon handling.
+//
+// Locking discipline: r.state and the identity/content of r.win are
+// mutated only while holding BOTH r.mu and r.gate (write side); readers
+// hold either r.mu (slow path) or r.gate.RLock (fast path). Monotonic
+// protocol counters shared with the fast path (lst, committed,
+// delivered, discarded) are atomics, written under r.mu.
 type Receiver struct {
-	cfg   ReceiverConfig
-	saver BackgroundSaver
-	now   nowFunc
+	cfg     ReceiverConfig
+	saver   BackgroundSaver
+	now     nowFunc
+	fastWin seqwin.ConcurrentWindow // non-nil enables the admission fast path
+	leap    uint64                  // Leap(K, leapFactor), precomputed
+	width   int                     // window width (immutable)
 
-	mu        sync.Mutex
-	win       seqwin.Window
-	lst       uint64 // last edge value handed to a SAVE (paper: lst)
-	committed uint64 // last edge value known durable
-	state     State
-	gen       uint64
-	wakeErr   error
-	buffer    []uint64 // messages held during StateWaking
+	// gate fences the fast path: admits hold RLock; state/window
+	// transitions hold Lock so no fast-path admit can observe — or mutate —
+	// a window mid-reinstall or a half-changed lifecycle state.
+	gate sync.RWMutex
 
-	delivered   uint64
-	discarded   uint64
-	savesStart  uint64
+	mu      sync.Mutex
+	win     seqwin.Window
+	state   State
+	gen     uint64
+	wakeErr error
+	buffer  []uint64 // messages held during StateWaking
+
+	lst       atomic.Uint64 // last edge value handed to a SAVE (paper: lst)
+	committed atomic.Uint64 // last edge value known durable
+
+	saveMu  sync.Mutex // orders saver invocations; see startSave
+	saveGen uint64     // mirrors gen for startSave's torn-save check
+
+	delivered   atomic.Uint64
+	discarded   atomic.Uint64
+	savesStart  atomic.Uint64
 	savesOK     uint64
 	savesFailed uint64
 	resets      uint64
@@ -200,7 +236,11 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		if w == 0 {
 			w = 64
 		}
-		win = seqwin.NewBitmap(w)
+		if cfg.Concurrent {
+			win = seqwin.NewAtomic(w)
+		} else {
+			win = seqwin.NewBitmap(w)
+		}
 	}
 	if cfg.WakeBuffer == 0 {
 		cfg.WakeBuffer = DefaultWakeBuffer
@@ -210,7 +250,12 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		saver: cfg.Saver,
 		now:   clockOrZero(cfg.Clock),
 		win:   win,
+		width: win.W(),
+		leap:  Leap(cfg.K, cfg.leapFactor()),
 		state: StateUp,
+	}
+	if cw, ok := win.(seqwin.ConcurrentWindow); ok {
+		r.fastWin = cw
 	}
 	if !cfg.Baseline {
 		if r.saver == nil {
@@ -233,7 +278,118 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 // unobserved (VerdictDown); while waking it is buffered for the Drain
 // callback (VerdictBuffered) or dropped if the buffer is full
 // (VerdictOverflow).
+//
+// With a concurrency-safe window the common case completes on the fast
+// path without the receiver mutex; see the type comment.
 func (r *Receiver) Admit(s uint64) Verdict {
+	if r.fastWin != nil {
+		if v, ok := r.admitFast(s); ok {
+			return v
+		}
+	}
+	return r.admitSlow(s)
+}
+
+// startSave hands v to the background saver. All save bookkeeping that must
+// be consistent with the invocation — lst, the saves-started counter, the
+// trace event — happens here, atomically with the hand-off, because saves
+// are triggered under r.mu but invoked after it is released:
+//
+//   - Updating lst at trigger time (the pre-concurrency design) lets the
+//     next trigger wait another K admissions while the first save is still
+//     un-invoked; with C concurrent admitters the edge can then outrun the
+//     durable value by up to C*K — far beyond the 2K wake leap, breaking
+//     exactly-once delivery (or, for a sender, no-reuse) across a reset.
+//     Here lst means "largest value actually handed to the saver", so the
+//     window between trigger and invocation suppresses nothing.
+//   - Two triggers can reach this point out of order; deduplicating against
+//     lst — "largest value actually handed to the saver" — drops any
+//     invocation no fresher than one already handed over, which both
+//     collapses the trigger herd into one write and keeps the medium
+//     monotonic (an out-of-order stale write would regress it, and a reset
+//     then wakes below delivered traffic). saveDone's gen-checked failure
+//     rollback of lst reopens the dedup so a failed save's value can be
+//     retried (e.g. a retransmission re-triggering the same
+//     horizon-extension save).
+//   - gen is the generation captured at trigger time. A reset advances
+//     saveGen under this same lock, so a straggler from the old life is
+//     dropped — the paper's "torn save" — instead of writing into the new
+//     life's medium.
+//
+// force bypasses the dedup: the post-wake save must run even though the
+// (volatile, possibly larger) lst of the previous life is still visible.
+// done is not called for dropped or deduplicated invocations (their
+// callbacks are stale or subsumed by the fresher save's).
+func (r *Receiver) startSave(gen, v uint64, force bool, done func(v uint64, err error)) {
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	if gen != r.saveGen {
+		return // a reset intervened; the write never reaches the medium
+	}
+	if !force && v <= r.lst.Load() {
+		return // an at-least-as-fresh save is already on its way
+	}
+	r.lst.Store(v)
+	r.savesStart.Add(1)
+	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: v})
+	r.saver.StartSave(v, func(err error) { done(v, err) })
+}
+
+// admitFast decides s against the concurrent window while holding only the
+// shared read gate. It reports ok=false when the message needs the slow
+// path: the receiver is not up, or s lies at or beyond the strict durable
+// horizon.
+func (r *Receiver) admitFast(s uint64) (Verdict, bool) {
+	r.gate.RLock()
+	if r.state != StateUp {
+		r.gate.RUnlock()
+		return 0, false
+	}
+	if r.cfg.StrictHorizon && !r.cfg.Baseline && s >= r.committed.Load()+r.leap {
+		// committed only grows, so a stale read errs toward the slow path,
+		// never toward delivering beyond the true horizon.
+		r.gate.RUnlock()
+		return 0, false
+	}
+	d := r.fastWin.Admit(s)
+	v := verdictOf(d)
+	if v.Delivered() {
+		r.delivered.Add(1)
+	} else {
+		r.discarded.Add(1)
+	}
+	trigger := d == seqwin.DecisionNew && !r.cfg.Baseline && s >= r.cfg.K+r.lst.Load()
+	r.gate.RUnlock()
+
+	r.traceVerdict(s, v)
+	if trigger {
+		r.saveFromFastPath(s)
+	}
+	return v, true
+}
+
+// saveFromFastPath re-checks the SAVE trigger under the mutex and starts
+// the background save. The fast path detects "edge advanced >= K" with a
+// racy read of lst, so this slow step runs at most once per K admissions
+// per concurrent admitter (startSave collapses the herd into one write).
+func (r *Receiver) saveFromFastPath(edge uint64) {
+	r.mu.Lock()
+	if r.state != StateUp || edge < r.cfg.K+r.lst.Load() {
+		r.mu.Unlock()
+		return
+	}
+	if e := r.win.Edge(); e > edge {
+		edge = e // a concurrent admit advanced further; save the larger edge
+	}
+	gen := r.gen
+	r.mu.Unlock()
+
+	r.startSave(gen, edge, false, func(v uint64, err error) { r.saveDone(gen, v, err) })
+}
+
+// admitSlow is the original mutex-serialized admission path; it also backs
+// the fast path's fallback cases (down/waking/horizon).
+func (r *Receiver) admitSlow(s uint64) Verdict {
 	r.mu.Lock()
 	switch r.state {
 	case StateDown:
@@ -264,20 +420,17 @@ func (r *Receiver) Admit(s uint64) Verdict {
 // The returned closure must be invoked after releasing the lock.
 func (r *Receiver) decideLocked(s uint64) (Verdict, func()) {
 	if r.cfg.StrictHorizon && !r.cfg.Baseline {
-		if horizon := r.committed + Leap(r.cfg.K, r.cfg.leapFactor()); s >= horizon {
-			r.discarded++
+		if horizon := r.committed.Load() + r.leap; s >= horizon {
+			r.discarded.Add(1)
 			// Extend the horizon: start a save of s itself so the stream
 			// resumes one save-latency later (retransmissions or subsequent
 			// packets then fall below the new horizon). Saving a value above
 			// the current edge is safe — it only widens the post-reset
 			// fresh-sacrifice window, exactly as the leap itself does.
-			if s > r.lst {
-				r.lst = s
-				r.savesStart++
+			if s > r.lst.Load() {
 				gen, val := r.gen, s
 				return VerdictHorizon, func() {
-					r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: val})
-					r.saver.StartSave(val, func(err error) { r.saveDone(gen, val, err) })
+					r.startSave(gen, val, false, func(v uint64, err error) { r.saveDone(gen, v, err) })
 				}
 			}
 			return VerdictHorizon, func() {}
@@ -286,23 +439,20 @@ func (r *Receiver) decideLocked(s uint64) (Verdict, func()) {
 	d := r.win.Admit(s)
 	v := verdictOf(d)
 	if v.Delivered() {
-		r.delivered++
+		r.delivered.Add(1)
 	} else {
-		r.discarded++
+		r.discarded.Add(1)
 	}
 	if r.cfg.Baseline {
 		return v, func() {}
 	}
 	edge := r.win.Edge()
-	if edge < r.cfg.K+r.lst {
+	if edge < r.cfg.K+r.lst.Load() {
 		return v, func() {}
 	}
-	r.lst = edge
-	r.savesStart++
 	gen := r.gen
 	return v, func() {
-		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: edge})
-		r.saver.StartSave(edge, func(err error) { r.saveDone(gen, edge, err) })
+		r.startSave(gen, edge, false, func(sv uint64, err error) { r.saveDone(gen, sv, err) })
 	}
 }
 
@@ -327,12 +477,21 @@ func (r *Receiver) traceVerdict(s uint64, v Verdict) {
 // considered lost; any in-flight save is discarded.
 func (r *Receiver) Reset() {
 	r.mu.Lock()
+	r.gate.Lock()
 	r.state = StateDown
+	r.gate.Unlock()
 	r.gen++
+	gen := r.gen
 	r.resets++
 	r.wakeErr = nil
 	r.buffer = nil
 	r.mu.Unlock()
+
+	// Any save triggered in the old life is torn: startSave drops it via
+	// the generation check (the crash destroyed the write in transit).
+	r.saveMu.Lock()
+	r.saveGen = gen
+	r.saveMu.Unlock()
 
 	if c, ok := r.saver.(Canceler); ok {
 		c.Cancel()
@@ -355,14 +514,18 @@ func (r *Receiver) Wake() {
 	if r.cfg.Baseline {
 		// §3: the reset receiver restarts with r=0 and a cleared window,
 		// accepting any previously used sequence number again.
+		r.gate.Lock()
 		r.win.Reinit(0, false)
 		r.state = StateUp
+		r.gate.Unlock()
 		r.mu.Unlock()
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWake, Node: r.cfg.Name})
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWakeDone, Node: r.cfg.Name})
 		return
 	}
+	r.gate.Lock()
 	r.state = StateWaking
+	r.gate.Unlock()
 	gen := r.gen
 	r.mu.Unlock()
 
@@ -377,15 +540,14 @@ func (r *Receiver) Wake() {
 		r.failWake(gen, fmt.Errorf("core: receiver wake fetch: %w", err))
 		return
 	}
-	leaped := v + Leap(r.cfg.K, r.cfg.leapFactor())
+	leaped := v + r.leap
 	if r.cfg.AblationSkipPostWakeSave {
 		// UNSAFE ablation: resume without the durable leap record.
-		r.saver.StartSave(leaped, func(err error) { r.saveDone(gen, leaped, err) })
+		r.startSave(gen, leaped, true, func(v uint64, err error) { r.saveDone(gen, v, err) })
 		r.finishWake(gen, leaped, nil)
 		return
 	}
-	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveStart, Node: r.cfg.Name, Seq: leaped})
-	r.saver.StartSave(leaped, func(err error) { r.finishWake(gen, leaped, err) })
+	r.startSave(gen, leaped, true, func(v uint64, err error) { r.finishWake(gen, v, err) })
 }
 
 func (r *Receiver) failWake(gen uint64, err error) {
@@ -394,7 +556,9 @@ func (r *Receiver) failWake(gen uint64, err error) {
 	if r.gen != gen {
 		return
 	}
+	r.gate.Lock()
 	r.state = StateDown
+	r.gate.Unlock()
 	r.wakeErr = err
 }
 
@@ -405,17 +569,21 @@ func (r *Receiver) finishWake(gen, leaped uint64, err error) {
 		return
 	}
 	if err != nil {
+		r.gate.Lock()
 		r.state = StateDown
+		r.gate.Unlock()
 		r.wakeErr = fmt.Errorf("core: receiver post-wake save: %w", err)
 		r.mu.Unlock()
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveError, Node: r.cfg.Name, Seq: leaped})
 		return
 	}
 	// Paper: r := fetched + 2Kq; every entry of wdw set to true.
+	r.gate.Lock()
 	r.win.Reinit(leaped, true)
-	r.lst = leaped
-	r.committed = leaped
 	r.state = StateUp
+	r.gate.Unlock()
+	r.lst.Store(leaped)
+	r.committed.Store(leaped)
 	buf := r.buffer
 	r.buffer = nil
 	r.mu.Unlock()
@@ -444,16 +612,22 @@ func (r *Receiver) saveDone(gen, v uint64, err error) {
 	}
 	if err != nil {
 		r.savesFailed++
-		if r.lst == v {
-			r.lst = r.committed
-		}
+		// Roll lst back so the next trigger — or a retransmission
+		// re-triggering the same horizon-extension value — retries the
+		// save (lst doubles as startSave's dedup watermark), unless a
+		// newer save has been handed out meanwhile. The single CAS makes
+		// the newer-save check atomic with the rollback: startSave runs
+		// under saveMu, not r.mu, so a load-then-store pair here could
+		// interleave with its watermark update and regress lst below a
+		// value already handed to the saver.
+		r.lst.CompareAndSwap(v, r.committed.Load())
 		r.mu.Unlock()
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveError, Node: r.cfg.Name, Seq: v})
 		return
 	}
 	r.savesOK++
-	if v > r.committed {
-		r.committed = v
+	if v > r.committed.Load() {
+		r.committed.Store(v)
 	}
 	r.mu.Unlock()
 	r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveDone, Node: r.cfg.Name, Seq: v})
@@ -461,24 +635,19 @@ func (r *Receiver) saveDone(gen, v uint64, err error) {
 
 // Edge returns the anti-replay window's right edge (paper: r).
 func (r *Receiver) Edge() uint64 {
+	if r.fastWin != nil {
+		return r.fastWin.Edge() // atomic; no lock needed
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.win.Edge()
 }
 
 // W returns the anti-replay window width.
-func (r *Receiver) W() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.win.W()
-}
+func (r *Receiver) W() int { return r.width }
 
 // LastStored returns the last edge value handed to a SAVE (paper: lst).
-func (r *Receiver) LastStored() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lst
-}
+func (r *Receiver) LastStored() uint64 { return r.lst.Load() }
 
 // State returns the lifecycle state.
 func (r *Receiver) State() State {
@@ -510,9 +679,9 @@ func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return ReceiverStats{
-		Delivered:    r.delivered,
-		Discarded:    r.discarded,
-		SavesStarted: r.savesStart,
+		Delivered:    r.delivered.Load(),
+		Discarded:    r.discarded.Load(),
+		SavesStarted: r.savesStart.Load(),
 		SavesOK:      r.savesOK,
 		SavesFailed:  r.savesFailed,
 		Resets:       r.resets,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"antireplay/internal/store"
@@ -81,14 +82,21 @@ type Sender struct {
 
 	mu        sync.Mutex
 	s         uint64 // next sequence number to hand out (paper: s)
-	lst       uint64 // last value handed to a SAVE (paper: lst)
 	committed uint64 // last value known durable
-	state     State
-	gen       uint64 // bumped by Reset; stales in-flight callbacks
-	wakeErr   error
+
+	// lst is the last value actually handed to a SAVE (paper: lst),
+	// written by startSave under saveMu (and by wake/failure handling
+	// under mu); atomic so both lock domains can read it.
+	lst     atomic.Uint64
+	state   State
+	gen     uint64 // bumped by Reset; stales in-flight callbacks
+	wakeErr error
+
+	saveMu  sync.Mutex // orders saver invocations; see Receiver.startSave
+	saveGen uint64     // mirrors gen for startSave's torn-save check
 
 	sent        uint64
-	savesStart  uint64
+	savesStart  atomic.Uint64
 	savesOK     uint64
 	savesFailed uint64
 	resets      uint64
@@ -107,9 +115,9 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		saver: cfg.Saver,
 		now:   clockOrZero(cfg.Clock),
 		s:     1,
-		lst:   1,
 		state: StateUp,
 	}
+	x.lst.Store(1)
 	if !cfg.Baseline {
 		if x.saver == nil {
 			x.saver = SyncSaver{Store: cfg.Store}
@@ -126,48 +134,98 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 	return x, nil
 }
 
+// startSave hands v to the background saver; see Receiver.startSave for
+// the full rationale. The bookkeeping that must be consistent with the
+// hand-off — lst (which doubles as the dedup watermark), the
+// saves-started counter, the trace event — happens here: triggered saves
+// are invoked after x.mu is released, so with concurrent Next/NextN
+// callers a trigger-time lst update would let the counter outrun the
+// durable value by up to C*K, and out-of-order or post-reset straggler
+// invocations would regress the medium — both paths to sequence reuse
+// after a reset, the exact failure the protocol exists to prevent. force
+// bypasses the dedup for the post-wake save (the previous life's larger
+// lst is still visible). Deduplicated and torn (generation-stale) saves
+// are dropped without calling done.
+func (x *Sender) startSave(gen, v uint64, force bool, done func(v uint64, err error)) {
+	x.saveMu.Lock()
+	defer x.saveMu.Unlock()
+	if gen != x.saveGen {
+		return // a reset intervened; the write never reaches the medium
+	}
+	if !force && v <= x.lst.Load() {
+		return // an at-least-as-fresh save is already on its way
+	}
+	x.lst.Store(v)
+	x.savesStart.Add(1)
+	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveStart, Node: x.cfg.Name, Seq: v})
+	x.saver.StartSave(v, func(err error) { done(v, err) })
+}
+
 // Next returns the sequence number for the next outgoing message,
 // implementing the paper's first action of process p: emit s, increment,
 // and start a background SAVE once the counter has advanced K past lst.
-// It returns ErrDown or ErrWaking while the endpoint cannot send.
+// It returns ErrDown or ErrWaking while the endpoint cannot send. Next is
+// the burst-of-one case of NextN; the reserve/trigger critical section
+// lives only there.
 func (x *Sender) Next() (uint64, error) {
+	seq, _, err := x.NextN(1)
+	return seq, err
+}
+
+// NextN reserves up to n consecutive sequence numbers in one lock
+// acquisition — the burst analogue of Next, used by the batched seal path
+// to amortize the sender mutex and the SAVE-trigger check across a whole
+// packet burst. It returns the first reserved number and how many were
+// granted. Under StrictHorizon the grant is truncated to the numbers below
+// the durable horizon: count may be less than n, and a zero grant returns
+// ErrSaveLag exactly as Next would. At most one background SAVE is started
+// per call, no matter how many save intervals the burst crosses.
+func (x *Sender) NextN(n int) (first uint64, count int, err error) {
+	if n <= 0 {
+		return 0, 0, nil
+	}
 	x.mu.Lock()
 	switch x.state {
 	case StateDown:
 		x.mu.Unlock()
-		return 0, ErrDown
+		return 0, 0, ErrDown
 	case StateWaking:
 		x.mu.Unlock()
-		return 0, ErrWaking
+		return 0, 0, ErrWaking
 	}
+	grant := uint64(n)
 	if x.cfg.StrictHorizon && !x.cfg.Baseline {
-		if horizon := x.committed + Leap(x.cfg.K, x.cfg.leapFactor()); x.s >= horizon {
+		horizon := x.committed + Leap(x.cfg.K, x.cfg.leapFactor())
+		if x.s >= horizon {
 			x.mu.Unlock()
-			return 0, ErrSaveLag
+			return 0, 0, ErrSaveLag
+		}
+		if avail := horizon - x.s; grant > avail {
+			grant = avail
 		}
 	}
-	seq := x.s
-	x.s++
-	x.sent++
+	first = x.s
+	x.s += grant
+	x.sent += grant
 	var (
 		saveVal uint64
 		gen     uint64
 		doSave  bool
 	)
-	if !x.cfg.Baseline && x.s >= x.cfg.K+x.lst {
-		x.lst = x.s
-		x.savesStart++
+	if !x.cfg.Baseline && x.s >= x.cfg.K+x.lst.Load() {
 		saveVal, gen, doSave = x.s, x.gen, true
 	}
 	x.mu.Unlock()
 
-	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSend, Node: x.cfg.Name, Seq: seq})
-	if doSave {
-		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveStart, Node: x.cfg.Name, Seq: saveVal})
-		v, g := saveVal, gen
-		x.saver.StartSave(v, func(err error) { x.saveDone(g, v, err) })
+	if x.cfg.Trace != nil {
+		for i := uint64(0); i < grant; i++ {
+			x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSend, Node: x.cfg.Name, Seq: first + i})
+		}
 	}
-	return seq, nil
+	if doSave {
+		x.startSave(gen, saveVal, false, func(v uint64, err error) { x.saveDone(gen, v, err) })
+	}
+	return first, int(grant), nil
 }
 
 // Reset crashes the sender: all volatile state is considered lost and any
@@ -176,9 +234,16 @@ func (x *Sender) Reset() {
 	x.mu.Lock()
 	x.state = StateDown
 	x.gen++
+	gen := x.gen
 	x.resets++
 	x.wakeErr = nil
 	x.mu.Unlock()
+
+	// Saves triggered in the old life are torn: startSave drops them via
+	// the generation check (the crash destroyed the write in transit).
+	x.saveMu.Lock()
+	x.saveGen = gen
+	x.saveMu.Unlock()
 
 	if c, ok := x.saver.(Canceler); ok {
 		c.Cancel()
@@ -200,7 +265,7 @@ func (x *Sender) Wake() {
 	if x.cfg.Baseline {
 		// §3: the reset sender restarts its counter at 1.
 		x.s = 1
-		x.lst = 1
+		x.lst.Store(1)
 		x.state = StateUp
 		x.mu.Unlock()
 		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindWake, Node: x.cfg.Name, Seq: 1})
@@ -226,12 +291,11 @@ func (x *Sender) Wake() {
 	if x.cfg.AblationSkipPostWakeSave {
 		// UNSAFE ablation: resume without the durable leap record; a save is
 		// still started in the background, mimicking the naive fix.
-		x.saver.StartSave(leaped, func(err error) { x.saveDone(gen, leaped, err) })
+		x.startSave(gen, leaped, true, func(v uint64, err error) { x.saveDone(gen, v, err) })
 		x.finishWake(gen, leaped, nil)
 		return
 	}
-	x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveStart, Node: x.cfg.Name, Seq: leaped})
-	x.saver.StartSave(leaped, func(err error) { x.finishWake(gen, leaped, err) })
+	x.startSave(gen, leaped, true, func(v uint64, err error) { x.finishWake(gen, v, err) })
 }
 
 func (x *Sender) failWake(gen uint64, err error) {
@@ -258,7 +322,7 @@ func (x *Sender) finishWake(gen, leaped uint64, err error) {
 		return
 	}
 	x.s = leaped
-	x.lst = leaped
+	x.lst.Store(leaped)
 	x.committed = leaped
 	x.state = StateUp
 	x.mu.Unlock()
@@ -275,11 +339,12 @@ func (x *Sender) saveDone(gen, v uint64, err error) {
 	}
 	if err != nil {
 		x.savesFailed++
-		// Roll lst back so the next send retries the save, unless a newer
-		// save has been started meanwhile.
-		if x.lst == v {
-			x.lst = x.committed
-		}
+		// Roll lst back so the next send retries the save (lst doubles as
+		// startSave's dedup watermark), unless a newer save has been handed
+		// out meanwhile. CAS, not load-then-store: startSave updates the
+		// watermark under saveMu, not x.mu, and the rollback must not
+		// regress lst below a value it has already handed to the saver.
+		x.lst.CompareAndSwap(v, x.committed)
 		x.mu.Unlock()
 		x.cfg.Trace.Record(trace.Event{At: x.now(), Kind: trace.KindSaveError, Node: x.cfg.Name, Seq: v})
 		return
@@ -300,11 +365,7 @@ func (x *Sender) Seq() uint64 {
 }
 
 // LastStored returns the last value handed to a SAVE (paper: lst).
-func (x *Sender) LastStored() uint64 {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.lst
-}
+func (x *Sender) LastStored() uint64 { return x.lst.Load() }
 
 // State returns the lifecycle state.
 func (x *Sender) State() State {
@@ -336,7 +397,7 @@ func (x *Sender) Stats() SenderStats {
 	defer x.mu.Unlock()
 	return SenderStats{
 		Sent:         x.sent,
-		SavesStarted: x.savesStart,
+		SavesStarted: x.savesStart.Load(),
 		SavesOK:      x.savesOK,
 		SavesFailed:  x.savesFailed,
 		Resets:       x.resets,

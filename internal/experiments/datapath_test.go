@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDatapathFastPathSpeedup is the acceptance gate for the concurrent
+// admission fast path: at the largest goroutine count the atomic receiver
+// must out-admit the mutex receiver. The full >= 3x target applies on
+// multi-core hosts; the assertion scales down to "no regression" when the
+// test host cannot exhibit parallelism.
+func TestDatapathFastPathSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping million-packet admission sweep")
+	}
+	cfg := DatapathConfig{Goroutines: []int{8}, Packets: 1 << 19, K: 1 << 12, W: 1024}
+	tbl, err := Datapath(cfg)
+	if err != nil {
+		t.Fatalf("Datapath: %v", err)
+	}
+	t.Logf("\n%s", tbl)
+
+	col := func(name string) float64 {
+		for i, c := range tbl.Columns {
+			if c == name {
+				v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[0][i], "x"), 64)
+				if err != nil {
+					t.Fatalf("parse %s: %v", name, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return 0
+	}
+	mutex, fast := col("mutex_mpps"), col("fast_mpps")
+	if mutex <= 0 || fast <= 0 {
+		t.Fatalf("degenerate rates: mutex=%f fast=%f", mutex, fast)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	switch {
+	case procs >= 8:
+		if fast < 3*mutex {
+			t.Errorf("8 goroutines on %d procs: fast %.2f Mpps < 3x mutex %.2f Mpps", procs, fast, mutex)
+		}
+	case procs >= 4:
+		if fast < 1.5*mutex {
+			t.Errorf("8 goroutines on %d procs: fast %.2f Mpps < 1.5x mutex %.2f Mpps", procs, fast, mutex)
+		}
+	default:
+		// No parallelism available: the fast path must at least not collapse
+		// under contention it cannot exploit.
+		if fast < 0.5*mutex {
+			t.Errorf("8 goroutines on %d procs: fast %.2f Mpps < 0.5x mutex %.2f Mpps", procs, fast, mutex)
+		}
+	}
+}

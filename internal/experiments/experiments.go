@@ -185,6 +185,14 @@ func All() []Runner {
 			}
 			return GatewayPersistence(cfg)
 		}},
+		{ID: "datapath", Paper: "extension: concurrent admission fast path vs mutex receiver", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultDatapathConfig()
+			if fast {
+				cfg.Packets = 1 << 18
+				cfg.Goroutines = []int{1, 4}
+			}
+			return Datapath(cfg)
+		}},
 	}
 }
 

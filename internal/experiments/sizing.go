@@ -110,7 +110,7 @@ func measureSendCost(cfg SizingConfig) (time.Duration, error) {
 		AuthKey: bytes.Repeat([]byte{0x5a}, ipsec.AuthKeySize),
 		EncKey:  bytes.Repeat([]byte{0xa5}, ipsec.EncKeySize),
 	}
-	out, err := ipsec.NewOutboundSA(1, keys, snd, ipsec.Lifetime{}, nil)
+	out, err := ipsec.NewOutboundSA(1, keys, snd, false, ipsec.Lifetime{}, nil)
 	if err != nil {
 		return 0, err
 	}

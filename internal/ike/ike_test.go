@@ -210,7 +210,7 @@ func TestNegotiatedKeysDriveIPsec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ipsec.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, ipsec.Lifetime{}, nil)
+	out, err := ipsec.NewOutboundSA(res.Keys.SPIInitToResp, res.Keys.InitToResp, snd, false, ipsec.Lifetime{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

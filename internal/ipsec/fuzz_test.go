@@ -24,7 +24,7 @@ func FuzzOpen(f *testing.F) {
 		AuthKey: bytes.Repeat([]byte{0x11}, AuthKeySize),
 		EncKey:  bytes.Repeat([]byte{0x22}, EncKeySize),
 	}
-	out, err := NewOutboundSA(0x42, keys, snd, Lifetime{}, nil)
+	out, err := NewOutboundSA(0x42, keys, snd, false, Lifetime{}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -191,7 +191,7 @@ func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*Outb
 		g.releaseCell(key)
 		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, err)
 	}
-	sa, err := NewOutboundSA(spi, keys, snd, g.cfg.Lifetime, g.cfg.Clock)
+	sa, err := NewOutboundSA(spi, keys, snd, g.cfg.ESN, g.cfg.Lifetime, g.cfg.Clock)
 	if err != nil {
 		g.releaseCell(key)
 		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, err)
@@ -235,6 +235,9 @@ func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
 		Store:         cell,
 		Saver:         g.pool.Saver(cell),
 		StrictHorizon: !g.cfg.NoStrictHorizon,
+		// Gateways admit from many NIC queues at once: use the concurrent
+		// window so per-packet admission runs on the receiver fast path.
+		Concurrent: true,
 	})
 	if err != nil {
 		g.releaseCell(key)
@@ -269,6 +272,76 @@ func (g *Gateway) Seal(src, dst netip.Addr, payload []byte) ([]byte, error) {
 // their SPI.
 func (g *Gateway) Open(wire []byte) ([]byte, core.Verdict, error) {
 	return g.sad.Open(wire)
+}
+
+// SealBatch routes a burst of payloads for one (src, dst) flow through a
+// single SPD lookup and seals them on the matching SA with one sequence
+// reservation (OutboundSA.SealBatch). It returns the sealed prefix; a
+// non-nil error explains why the burst was cut short.
+func (g *Gateway) SealBatch(src, dst netip.Addr, payloads [][]byte) ([][]byte, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	sa, ok := g.spd.Lookup(src, dst)
+	if !ok {
+		return nil, fmt.Errorf("%w: %v -> %v", ErrNoPolicy, src, dst)
+	}
+	return sa.SealBatch(payloads)
+}
+
+// VerifyBatch verifies a burst of inbound packets, amortizing SAD lookups
+// and SA counter updates across the burst: packets are grouped by SPI (one
+// lookup per SA, preserving each SA's arrival order) and handed to
+// InboundSA.VerifyBatch. Results are positional: out[j] corresponds to
+// wires[j]. Bursts from a NIC queue typically hit a handful of SAs, so a
+// 64-packet batch costs a few lookups instead of 64.
+func (g *Gateway) VerifyBatch(wires [][]byte) []VerifyResult {
+	out := make([]VerifyResult, len(wires))
+	if len(wires) == 0 {
+		return out
+	}
+	// Group by SPI with flat scratch slices instead of a map: bursts
+	// typically span a handful of SAs, so the linear rescan per distinct
+	// SPI is cheap and the grouping costs four fixed allocations.
+	spis := make([]uint32, len(wires))
+	grouped := make([]bool, len(wires))
+	batch := make([][]byte, 0, len(wires))
+	idx := make([]int, 0, len(wires))
+	for j, wire := range wires {
+		spi, err := ParseSPI(wire)
+		if err != nil {
+			out[j].Err = err
+			grouped[j] = true
+			continue
+		}
+		spis[j] = spi
+	}
+	for j := range wires {
+		if grouped[j] {
+			continue
+		}
+		spi := spis[j]
+		batch, idx = batch[:0], idx[:0]
+		for k := j; k < len(wires); k++ {
+			if !grouped[k] && spis[k] == spi {
+				grouped[k] = true
+				batch = append(batch, wires[k])
+				idx = append(idx, k)
+			}
+		}
+		sa, ok := g.sad.Lookup(spi)
+		if !ok {
+			err := fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+			for _, k := range idx {
+				out[k].Err = err
+			}
+			continue
+		}
+		for k, res := range sa.VerifyBatch(batch) {
+			out[idx[k]] = res
+		}
+	}
+	return out
 }
 
 // SAD exposes the inbound database.

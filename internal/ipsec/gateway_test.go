@@ -60,7 +60,7 @@ func TestSADConcurrentStress(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewSender: %v", err)
 		}
-		out, err := NewOutboundSA(spi, testKeys(false), snd, Lifetime{}, nil)
+		out, err := NewOutboundSA(spi, testKeys(false), snd, false, Lifetime{}, nil)
 		if err != nil {
 			t.Fatalf("NewOutboundSA: %v", err)
 		}
@@ -111,7 +111,7 @@ func TestSPDExactFastPath(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewSender: %v", err)
 		}
-		sa, err := NewOutboundSA(spi, testKeys(false), snd, Lifetime{}, nil)
+		sa, err := NewOutboundSA(spi, testKeys(false), snd, false, Lifetime{}, nil)
 		if err != nil {
 			t.Fatalf("NewOutboundSA: %v", err)
 		}

@@ -46,6 +46,10 @@ var (
 	ErrUnknownSPI = errors.New("ipsec: unknown SPI")
 	// ErrHardExpired reports an SA past its hard lifetime.
 	ErrHardExpired = errors.New("ipsec: SA hard lifetime expired")
+	// ErrSeqExhausted reports an outbound SA without ESN that has consumed
+	// the entire 32-bit sequence space: RFC 4303 forbids letting the wire
+	// sequence number cycle, so the SA must be rekeyed.
+	ErrSeqExhausted = errors.New("ipsec: sequence number space exhausted")
 	// ErrKeySize reports invalid key material.
 	ErrKeySize = errors.New("ipsec: invalid key size")
 	// ErrNoPolicy reports an outbound packet matching no SPD entry.

@@ -43,7 +43,7 @@ func newPair(t *testing.T, enc, esn bool) (*OutboundSA, *InboundSA) {
 	t.Helper()
 	snd, _ := newSenderT(t, 25)
 	rcv, _ := newReceiverT(t, 25, 64)
-	out, err := NewOutboundSA(0x1001, testKeys(enc), snd, Lifetime{}, nil)
+	out, err := NewOutboundSA(0x1001, testKeys(enc), snd, false, Lifetime{}, nil)
 	if err != nil {
 		t.Fatalf("NewOutboundSA: %v", err)
 	}
@@ -252,7 +252,7 @@ func TestESNAcrossSubspaceBoundary(t *testing.T) {
 	rcv.Reset()
 	rcv.Wake() // edge = base + 2k
 
-	out, err := NewOutboundSA(7, testKeys(true), snd, Lifetime{}, nil)
+	out, err := NewOutboundSA(7, testKeys(true), snd, true, Lifetime{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestESNAcrossSubspaceBoundary(t *testing.T) {
 
 func TestLifetimeBytes(t *testing.T) {
 	snd, _ := newSenderT(t, 25)
-	out, err := NewOutboundSA(1, testKeys(false), snd, Lifetime{SoftBytes: 40, HardBytes: 80}, nil)
+	out, err := NewOutboundSA(1, testKeys(false), snd, false, Lifetime{SoftBytes: 40, HardBytes: 80}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestLifetimeTime(t *testing.T) {
 	var now time.Duration
 	clock := func() time.Duration { return now }
 	snd, _ := newSenderT(t, 25)
-	out, err := NewOutboundSA(1, testKeys(false), snd, Lifetime{SoftTime: time.Hour, HardTime: 2 * time.Hour}, clock)
+	out, err := NewOutboundSA(1, testKeys(false), snd, false, Lifetime{SoftTime: time.Hour, HardTime: 2 * time.Hour}, clock)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestSADRouting(t *testing.T) {
 	_ = out1
 	snd2, _ := newSenderT(t, 25)
 	rcv2, _ := newReceiverT(t, 25, 64)
-	out2, err := NewOutboundSA(0x2002, testKeys(false), snd2, Lifetime{}, nil)
+	out2, err := NewOutboundSA(0x2002, testKeys(false), snd2, false, Lifetime{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,11 +383,11 @@ func TestSADRouting(t *testing.T) {
 func TestSPDFirstMatch(t *testing.T) {
 	sndA, _ := newSenderT(t, 25)
 	sndB, _ := newSenderT(t, 25)
-	saA, err := NewOutboundSA(1, testKeys(false), sndA, Lifetime{}, nil)
+	saA, err := NewOutboundSA(1, testKeys(false), sndA, false, Lifetime{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	saB, err := NewOutboundSA(2, testKeys(false), sndB, Lifetime{}, nil)
+	saB, err := NewOutboundSA(2, testKeys(false), sndB, false, Lifetime{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

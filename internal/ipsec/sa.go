@@ -1,13 +1,22 @@
 package ipsec
 
 import (
+	"errors"
 	"fmt"
-	"sync"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"antireplay/internal/core"
 	"antireplay/internal/seqwin"
 )
+
+// sub decrements an atomic counter by d (Add with two's complement).
+func sub(c *atomic.Uint64, d uint64) {
+	if d > 0 {
+		c.Add(^(d - 1))
+	}
+}
 
 // Lifetime bounds an SA's use, after RFC 4301's soft/hard semantics: past
 // the soft bound the SA should be rekeyed; past the hard bound it must not
@@ -47,30 +56,35 @@ func (s LifetimeState) String() string {
 }
 
 // OutboundSA secures one direction of traffic: it numbers packets through
-// the reset-resilient sender and seals them. Safe for concurrent use.
+// the reset-resilient sender and seals them. Safe for concurrent use; the
+// per-packet counters are atomics, so concurrent Seals serialize only on
+// the sender's own sequence allocation.
 type OutboundSA struct {
 	spi  uint32
 	keys KeyMaterial
 	seq  *core.Sender
+	esn  bool
 	life Lifetime
 	now  func() time.Duration
+	born time.Duration
 
-	mu      sync.Mutex
-	born    time.Duration
-	bytes   uint64
-	packets uint64
+	bytes   atomic.Uint64
+	packets atomic.Uint64
 }
 
 // NewOutboundSA builds an outbound SA. sender provides the sequence-number
-// service (configure its SAVE/FETCH behaviour there); clock may be nil.
-func NewOutboundSA(spi uint32, keys KeyMaterial, sender *core.Sender, life Lifetime, clock func() time.Duration) (*OutboundSA, error) {
+// service (configure its SAVE/FETCH behaviour there); esn declares whether
+// the peer reconstructs 64-bit extended sequence numbers — without it the
+// SA hard-fails with ErrSeqExhausted before the 32-bit wire number can
+// wrap; clock may be nil.
+func NewOutboundSA(spi uint32, keys KeyMaterial, sender *core.Sender, esn bool, life Lifetime, clock func() time.Duration) (*OutboundSA, error) {
 	if err := keys.Validate(); err != nil {
 		return nil, err
 	}
 	if sender == nil {
 		return nil, fmt.Errorf("%w: nil sender", core.ErrConfig)
 	}
-	o := &OutboundSA{spi: spi, keys: keys, seq: sender, life: life, now: clockOrZero(clock)}
+	o := &OutboundSA{spi: spi, keys: keys, seq: sender, esn: esn, life: life, now: clockOrZero(clock)}
 	o.born = o.now()
 	return o, nil
 }
@@ -81,61 +95,167 @@ func (o *OutboundSA) SPI() uint32 { return o.spi }
 // Sender exposes the underlying sequence-number sender (for reset/wake).
 func (o *OutboundSA) Sender() *core.Sender { return o.seq }
 
+// reserve atomically checks the hard lifetime and accounts n wire bytes and
+// one packet in a single step, so that concurrent Seals cannot all pass a
+// stale check and collectively overshoot HardBytes: each successful CAS
+// observes a byte count strictly below the bound, and once the bound is
+// reached every later attempt fails. The one packet that crosses the
+// boundary is allowed, as with any in-flight packet at expiry.
+func (o *OutboundSA) reserve(n uint64) error {
+	if o.life.HardTime > 0 && o.now()-o.born >= o.life.HardTime {
+		return ErrHardExpired
+	}
+	if o.life.HardBytes == 0 {
+		// No byte bound: plain wait-free accounting, no CAS retries on the
+		// hot path.
+		o.bytes.Add(n)
+		o.packets.Add(1)
+		return nil
+	}
+	for {
+		cur := o.bytes.Load()
+		if o.life.HardBytes > 0 && cur >= o.life.HardBytes {
+			return ErrHardExpired
+		}
+		if o.bytes.CompareAndSwap(cur, cur+n) {
+			o.packets.Add(1)
+			return nil
+		}
+	}
+}
+
+// unreserve rolls back a reserve whose seal failed.
+func (o *OutboundSA) unreserve(n uint64) {
+	sub(&o.bytes, n)
+	sub(&o.packets, 1)
+}
+
+// sealSeq validates seq64 against the 32-bit wire wrap and seals.
+func (o *OutboundSA) sealSeq(seq64 uint64, payload []byte) ([]byte, error) {
+	if !o.esn && seq64 > math.MaxUint32 {
+		// RFC 4303 §3.3.3: without ESN the sender MUST NOT let the sequence
+		// number cycle — reusing a wire number would also reuse the CTR
+		// nonce. The SA is permanently exhausted; rekey to continue.
+		return nil, fmt.Errorf("%w: sequence %d exceeds the 32-bit wire space", ErrSeqExhausted, seq64)
+	}
+	return seal(o.keys, o.spi, seq64, payload)
+}
+
 // Seal encapsulates payload, assigning the next sequence number. It fails
-// with core.ErrDown / core.ErrWaking while the endpoint cannot send and
-// ErrHardExpired past the hard lifetime.
+// with core.ErrDown / core.ErrWaking while the endpoint cannot send,
+// ErrHardExpired past the hard lifetime, and ErrSeqExhausted when a
+// non-ESN SA has consumed the whole 32-bit sequence space.
 func (o *OutboundSA) Seal(payload []byte) ([]byte, error) {
-	if o.State() == LifetimeHard {
-		return nil, ErrHardExpired
+	wireLen := uint64(len(payload)) + Overhead
+	if err := o.reserve(wireLen); err != nil {
+		return nil, err
 	}
 	seq64, err := o.seq.Next()
 	if err != nil {
+		o.unreserve(wireLen)
 		return nil, err
 	}
-	wire, err := seal(o.keys, o.spi, seq64, payload)
+	wire, err := o.sealSeq(seq64, payload)
 	if err != nil {
+		o.unreserve(wireLen)
 		return nil, err
 	}
-	o.mu.Lock()
-	o.bytes += uint64(len(wire))
-	o.packets++
-	o.mu.Unlock()
 	return wire, nil
+}
+
+// SealBatch seals a burst of payloads, reserving all their sequence numbers
+// from the sender in one lock acquisition (core.Sender.NextN) and checking
+// the lifetime once for the whole burst. It returns the wires for the
+// sealed prefix; when fewer than len(payloads) were sealed, err reports why
+// the burst was cut short (core.ErrSaveLag backpressure truncating the
+// grant, ErrHardExpired, ErrSeqExhausted, ...). Lifetime accounting is
+// batch-granular: a burst may overshoot HardBytes by at most one burst.
+func (o *OutboundSA) SealBatch(payloads [][]byte) ([][]byte, error) {
+	if len(payloads) == 0 {
+		return nil, nil
+	}
+	var total uint64
+	for _, p := range payloads {
+		total += uint64(len(p)) + Overhead
+	}
+	if err := o.reserve(total); err != nil {
+		return nil, err
+	}
+	o.packets.Add(uint64(len(payloads) - 1)) // reserve counted one packet
+
+	first, n, err := o.seq.NextN(len(payloads))
+	if n < len(payloads) {
+		var unused uint64
+		for _, p := range payloads[n:] {
+			unused += uint64(len(p)) + Overhead
+		}
+		sub(&o.bytes, unused)
+		sub(&o.packets, uint64(len(payloads)-n))
+		if err == nil {
+			err = core.ErrSaveLag // NextN truncated the grant at the horizon
+		}
+	}
+	wires := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		wire, serr := o.sealSeq(first+uint64(i), payloads[i])
+		if serr != nil {
+			// Roll back the unsealed tail (the reserved numbers are burned,
+			// but the bytes were never sent).
+			var unused uint64
+			for _, p := range payloads[i:n] {
+				unused += uint64(len(p)) + Overhead
+			}
+			sub(&o.bytes, unused)
+			sub(&o.packets, uint64(n-i))
+			return wires, serr
+		}
+		wires = append(wires, wire)
+	}
+	return wires, err
 }
 
 // State classifies the SA's lifetime position.
 func (o *OutboundSA) State() LifetimeState {
-	o.mu.Lock()
-	bytes := o.bytes
-	born := o.born
-	o.mu.Unlock()
-	return lifetimeState(o.life, bytes, o.now()-born)
+	return lifetimeState(o.life, o.bytes.Load(), o.now()-o.born)
 }
 
 // Counters returns bytes and packets sealed so far.
 func (o *OutboundSA) Counters() (bytes, packets uint64) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.bytes, o.packets
+	return o.bytes.Load(), o.packets.Load()
 }
+
+// VerifyResult is the outcome of verifying one inbound packet: exactly one
+// of Err != nil (the packet could not be checked: malformed, wrong SPI,
+// failed ICV, expired SA) or Verdict != 0 (the anti-replay decision;
+// Payload is non-nil only when Verdict.Delivered()).
+type VerifyResult struct {
+	Payload []byte
+	Verdict core.Verdict
+	Err     error
+}
+
+// Delivered reports whether the packet was verified, admitted, and carries
+// a payload.
+func (r VerifyResult) Delivered() bool { return r.Err == nil && r.Verdict.Delivered() }
 
 // InboundSA verifies and decapsulates one direction of traffic, admitting
 // sequence numbers through the reset-resilient receiver. Safe for
-// concurrent use.
+// concurrent use; with a fast-path receiver (ipsec.Gateway's default)
+// concurrent Opens do not serialize on any SA-wide lock.
 type InboundSA struct {
 	spi    uint32
 	keys   KeyMaterial
 	replay *core.Receiver
 	esn    bool
+	winW   int // receiver window width, immutable
 	life   Lifetime
 	now    func() time.Duration
+	born   time.Duration
 
-	mu        sync.Mutex
-	born      time.Duration
-	bytes     uint64
-	packets   uint64
-	authFails uint64
-	replays   uint64
+	bytes     atomic.Uint64
+	packets   atomic.Uint64
+	authFails atomic.Uint64
+	replays   atomic.Uint64
 }
 
 // NewInboundSA builds an inbound SA. receiver provides the anti-replay
@@ -147,7 +267,10 @@ func NewInboundSA(spi uint32, keys KeyMaterial, receiver *core.Receiver, esn boo
 	if receiver == nil {
 		return nil, fmt.Errorf("%w: nil receiver", core.ErrConfig)
 	}
-	i := &InboundSA{spi: spi, keys: keys, replay: receiver, esn: esn, life: life, now: clockOrZero(clock)}
+	i := &InboundSA{
+		spi: spi, keys: keys, replay: receiver, esn: esn,
+		winW: receiver.W(), life: life, now: clockOrZero(clock),
+	}
 	i.born = i.now()
 	return i, nil
 }
@@ -158,6 +281,53 @@ func (i *InboundSA) SPI() uint32 { return i.spi }
 // Receiver exposes the underlying anti-replay receiver (for reset/wake).
 func (i *InboundSA) Receiver() *core.Receiver { return i.replay }
 
+// verifyOne parses, authenticates, and admits one packet without touching
+// the SA counters (callers account singly or per batch).
+//
+// With ESN the 64-bit sequence number is inferred from a single edge
+// snapshot taken immediately before the ICV check. A concurrent Open can
+// advance the edge between that snapshot and the check; near a 2^32
+// subspace boundary the moved edge changes the inferred high half, which
+// would reject a legitimate packet. On ICV failure the inference is
+// therefore redone against a fresh snapshot and retried once when it
+// yields a different number. The admission itself needs no snapshot
+// consistency: it admits the authenticated 64-bit value, which no longer
+// depends on the edge.
+func (i *InboundSA) verifyOne(wire []byte) VerifyResult {
+	if len(wire) < headerLen+icvLen {
+		return VerifyResult{Err: fmt.Errorf("%w: %d bytes", ErrShortPacket, len(wire))}
+	}
+	spi, _ := ParseSPI(wire)
+	if spi != i.spi {
+		return VerifyResult{Err: fmt.Errorf("%w: packet SPI %#x, SA SPI %#x", ErrUnknownSPI, spi, i.spi)}
+	}
+	lo, _ := ParseSeqLo(wire)
+	seq64 := uint64(lo)
+	var edge uint64
+	if i.esn {
+		edge = i.replay.Edge()
+		seq64 = seqwin.InferESN(edge, lo, i.winW)
+	}
+	payload, err := open(i.keys, i.spi, seq64, wire)
+	if err != nil && i.esn {
+		if e2 := i.replay.Edge(); e2 != edge {
+			if s2 := seqwin.InferESN(e2, lo, i.winW); s2 != seq64 {
+				if p2, err2 := open(i.keys, i.spi, s2, wire); err2 == nil {
+					payload, err, seq64 = p2, nil, s2
+				}
+			}
+		}
+	}
+	if err != nil {
+		return VerifyResult{Err: err}
+	}
+	verdict := i.replay.Admit(seq64)
+	if !verdict.Delivered() {
+		return VerifyResult{Verdict: verdict}
+	}
+	return VerifyResult{Payload: payload, Verdict: verdict}
+}
+
 // Open verifies wire bytes and returns the payload. The verdict reports the
 // anti-replay decision; payload is non-nil only when verdict.Delivered().
 // Following RFC 4303 the ICV is verified before the window is updated, so
@@ -167,53 +337,82 @@ func (i *InboundSA) Open(wire []byte) ([]byte, core.Verdict, error) {
 	if i.State() == LifetimeHard {
 		return nil, 0, ErrHardExpired
 	}
-	if len(wire) < headerLen+icvLen {
-		return nil, 0, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(wire))
+	res := i.verifyOne(wire)
+	i.account(wire, res)
+	return res.Payload, res.Verdict, res.Err
+}
+
+// account updates the SA counters for one verified (or rejected) packet.
+func (i *InboundSA) account(wire []byte, res VerifyResult) {
+	if res.Err != nil {
+		if isAuthErr(res.Err) {
+			i.authFails.Add(1)
+		}
+		return
 	}
-	spi, _ := ParseSPI(wire)
-	if spi != i.spi {
-		return nil, 0, fmt.Errorf("%w: packet SPI %#x, SA SPI %#x", ErrUnknownSPI, spi, i.spi)
+	i.bytes.Add(uint64(len(wire)))
+	i.packets.Add(1)
+	if res.Verdict == core.VerdictDuplicate || res.Verdict == core.VerdictStale {
+		i.replays.Add(1)
 	}
-	lo, _ := ParseSeqLo(wire)
-	seq64 := uint64(lo)
-	if i.esn {
-		seq64 = seqwin.InferESN(i.replay.Edge(), lo, i.replay.W())
+}
+
+// VerifyBatch verifies a burst of packets for this SA, checking the hard
+// lifetime once and folding all counter updates into one set of atomic adds
+// — the inbound analogue of SealBatch. Results are positional: out[j]
+// corresponds to wires[j]. Lifetime enforcement is batch-granular: a batch
+// admitted at its start runs to completion even if it crosses HardBytes.
+func (i *InboundSA) VerifyBatch(wires [][]byte) []VerifyResult {
+	out := make([]VerifyResult, len(wires))
+	if len(wires) == 0 {
+		return out
 	}
-	payload, err := open(i.keys, i.spi, seq64, wire)
-	if err != nil {
-		i.mu.Lock()
-		i.authFails++
-		i.mu.Unlock()
-		return nil, 0, err
+	if i.State() == LifetimeHard {
+		for j := range out {
+			out[j].Err = ErrHardExpired
+		}
+		return out
 	}
-	verdict := i.replay.Admit(seq64)
-	i.mu.Lock()
-	i.bytes += uint64(len(wire))
-	i.packets++
-	if verdict == core.VerdictDuplicate || verdict == core.VerdictStale {
-		i.replays++
+	var bytes, packets, authFails, replays uint64
+	for j, wire := range wires {
+		res := i.verifyOne(wire)
+		out[j] = res
+		switch {
+		case res.Err != nil:
+			if isAuthErr(res.Err) {
+				authFails++
+			}
+		default:
+			bytes += uint64(len(wire))
+			packets++
+			if res.Verdict == core.VerdictDuplicate || res.Verdict == core.VerdictStale {
+				replays++
+			}
+		}
 	}
-	i.mu.Unlock()
-	if !verdict.Delivered() {
-		return nil, verdict, nil
+	if bytes > 0 {
+		i.bytes.Add(bytes)
 	}
-	return payload, verdict, nil
+	if packets > 0 {
+		i.packets.Add(packets)
+	}
+	if authFails > 0 {
+		i.authFails.Add(authFails)
+	}
+	if replays > 0 {
+		i.replays.Add(replays)
+	}
+	return out
 }
 
 // State classifies the SA's lifetime position.
 func (i *InboundSA) State() LifetimeState {
-	i.mu.Lock()
-	bytes := i.bytes
-	born := i.born
-	i.mu.Unlock()
-	return lifetimeState(i.life, bytes, i.now()-born)
+	return lifetimeState(i.life, i.bytes.Load(), i.now()-i.born)
 }
 
 // Counters returns (bytes, packets, authFailures, replayDiscards).
 func (i *InboundSA) Counters() (bytes, packets, authFails, replays uint64) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return i.bytes, i.packets, i.authFails, i.replays
+	return i.bytes.Load(), i.packets.Load(), i.authFails.Load(), i.replays.Load()
 }
 
 func lifetimeState(l Lifetime, bytes uint64, age time.Duration) LifetimeState {
@@ -231,6 +430,8 @@ func lifetimeState(l Lifetime, bytes uint64, age time.Duration) LifetimeState {
 	}
 	return LifetimeOK
 }
+
+func isAuthErr(err error) bool { return errors.Is(err, ErrAuth) }
 
 func clockOrZero(f func() time.Duration) func() time.Duration {
 	if f == nil {

@@ -1,0 +1,275 @@
+package seqwin
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ConcurrentWindow marks Window implementations whose Admit may be called
+// from many goroutines at once. A ConcurrentWindow guarantees the
+// Discrimination property under concurrency: no sequence number is ever
+// delivered (DecisionNew / DecisionInWindow) twice, in any interleaving.
+// It may conservatively discard a fresh number that races a large window
+// slide — the same trade every anti-replay window already makes for
+// out-of-window traffic. Reinit still requires external serialization
+// against concurrent Admits (core.Receiver provides it with its state gate).
+type ConcurrentWindow interface {
+	Window
+	// ConcurrentSafe is a marker: implementing it declares Admit
+	// goroutine-safe with exactly-once delivery.
+	ConcurrentSafe()
+}
+
+// atomicWord is one ring slot of an Atomic window: a 64-bit seen-bitmap plus
+// a tag recording which 64-number block the bitmap currently represents.
+// The tag is seqlock-encoded: 2*blk while the slot stably holds block blk,
+// 2*blk-1 while a slide is recycling the slot INTO block blk. Readers only
+// trust a bit they set while observing the same even tag before and after
+// the set; the recycler publishes the odd tag strictly before wiping the
+// word, so any reader whose bit could have been wiped is guaranteed to see
+// the tag move and discard instead. The pad keeps each slot on its own
+// cache line so bit-sets on different words never false-share.
+type atomicWord struct {
+	bits atomic.Uint64
+	tag  atomic.Uint64
+	_    [48]byte
+}
+
+// Atomic is a concurrency-safe anti-replay window in the style of the Linux
+// xfrm / WireGuard receive counters: an RFC 6479 ring of 64-bit words, but
+// with the right edge advanced by compare-and-swap and seen-bits set with
+// atomic fetch-OR instead of under a lock. Used serially it makes exactly
+// the decisions Bitmap makes (the differential tests enforce this); used
+// concurrently it never delivers the same number twice.
+//
+// The exactly-once argument has three legs:
+//
+//   - Every delivery — in-window mark and freshly CASed edge alike — is
+//     decided by one fetch-OR on the number's seen-bit (claim): of all
+//     goroutines admitting one number, exactly one observes the bit clear.
+//     In particular, the edge-CAS winner does not deliver by virtue of the
+//     CAS; a replay racing into the window it just published contends on
+//     the same bit.
+//   - Edge advances serialize on the CAS and the edge only grows.
+//   - Ring words are recycled only after the edge covering the new block is
+//     published, under the tag protocol above: tags only move forward, a
+//     wipe is always preceded by the odd transition tag, and claim re-reads
+//     the tag after its fetch-OR. If the recheck still shows the even tag
+//     of its block, no wipe can have intervened; if it does not, the number
+//     is already stale under the published edge and the admit discards
+//     conservatively.
+//
+// A small mutex serializes recycling between concurrent advances (two
+// overlapping slides may alias the same physical slot); in-order traffic
+// crosses a word boundary — and thus takes that mutex — once per 64
+// packets, and in-window traffic never takes it.
+type Atomic struct {
+	w     int
+	edge  atomic.Uint64
+	reMu  sync.Mutex // serializes word recycling between advances
+	words []atomicWord
+}
+
+var _ ConcurrentWindow = (*Atomic)(nil)
+
+// NewAtomic returns a concurrency-safe window of width w (w >= 1), ring-sized
+// like NewBitmap to ceil(w/64)+1 words; the spare word is what guarantees a
+// live in-window number never shares a physical slot with a block being
+// recycled. It panics if w < 1 (programmer error).
+func NewAtomic(w int) *Atomic {
+	if w < 1 {
+		panic(fmt.Sprintf("seqwin: window width %d < 1", w))
+	}
+	nwords := (w+63)/64 + 1
+	a := &Atomic{w: w, words: make([]atomicWord, nwords)}
+	for i := range a.words {
+		a.words[i].tag.Store(stableTag(uint64(i)))
+	}
+	return a
+}
+
+// stableTag is the tag of a slot stably holding block blk; stableTag-1 is
+// the transitional tag while a slide recycles the slot into blk.
+func stableTag(blk uint64) uint64 { return blk * 2 }
+
+// ConcurrentSafe marks Atomic as safe for concurrent Admit.
+func (a *Atomic) ConcurrentSafe() {}
+
+func (a *Atomic) slot(blk uint64) *atomicWord { return &a.words[blk%uint64(len(a.words))] }
+
+// Admit decides and records sequence number s. Safe for concurrent use.
+func (a *Atomic) Admit(s uint64) Decision {
+	for {
+		r := a.edge.Load()
+		if staleBelow(s, r, a.w) {
+			return DecisionStale
+		}
+		if s <= r {
+			return a.claim(s, DecisionInWindow)
+		}
+		// Advance: publish the new edge first, then recycle the ring words
+		// the edge passed over. Publishing first is what makes concurrent
+		// clearing safe — any bit the recycle wipes belongs to a number that
+		// is already stale under the published edge.
+		if !a.edge.CompareAndSwap(r, s) {
+			continue // another admit moved the edge; re-decide against it
+		}
+		if s/64 != r/64 {
+			a.recycle(r/64, s/64)
+		}
+		// Winning the edge CAS is NOT the delivery decision: between the CAS
+		// and this point a replay of s (now in-window under the published
+		// edge) can race us to the seen-bit. The fetch-OR in claim is the
+		// one serialization point for delivering s — whoever flips the bit
+		// delivers, everyone else sees a duplicate.
+		return a.claim(s, DecisionNew)
+	}
+}
+
+// recycle clears the ring words for blocks (from, to], skipping any slot a
+// later (larger) advance has already carried past. The mutex serializes
+// overlapping advances whose block ranges alias the same physical slots.
+// Order is load-bearing: the transitional tag is published before the wipe,
+// the stable tag after it, and tags never move backward.
+func (a *Atomic) recycle(from, to uint64) {
+	n := uint64(len(a.words))
+	lo := from + 1
+	if to >= n && lo < to-n+1 {
+		lo = to - n + 1 // the slide laps the ring; only the top n blocks survive
+	}
+	a.reMu.Lock()
+	for b := lo; b <= to; b++ {
+		wd := a.slot(b)
+		if wd.tag.Load() >= stableTag(b) {
+			continue
+		}
+		wd.tag.Store(stableTag(b) - 1) // announce: bits are about to be wiped
+		wd.bits.Store(0)
+		wd.tag.Store(stableTag(b))
+	}
+	a.reMu.Unlock()
+}
+
+// claim runs the test-and-set for s under the tag protocol described on
+// atomicWord and returns deliver — DecisionInWindow for the in-window path,
+// DecisionNew for the freshly CASed edge — if this call flipped the bit.
+// The fetch-OR is the single point that decides delivery of s: of all
+// concurrent admits of one number (including the edge-CAS winner racing a
+// replay of its own number), exactly one observes the bit clear under a
+// stable tag.
+func (a *Atomic) claim(s uint64, deliver Decision) Decision {
+	b := s / 64
+	wd := a.slot(b)
+	bit := uint64(1) << (s % 64)
+	want := stableTag(b)
+	for {
+		switch tag := wd.tag.Load(); {
+		case tag > want:
+			// The slot was (or is being) recycled past s's block: s is
+			// stale under an edge at least a full ring ahead. If s was
+			// delivered before the lap its bit is gone, but every future
+			// admit of s lands here (tags only grow), so nothing can
+			// deliver it again; if it was never delivered, discarding a
+			// fresh number that raced a whole-ring slide is the
+			// conservative trade every window makes below its edge.
+			return DecisionStale
+		case tag < want:
+			// An advance has published an edge covering s but has not
+			// finished recycling this word; wait for it.
+			runtime.Gosched()
+			continue
+		}
+		// Test-and-set via an explicit CAS loop. (Not atomic.Uint64.Or: its
+		// old-value intrinsic miscompiles on go1.24.0/amd64, clobbering the
+		// register holding `deliver` with the Or result.)
+		var old uint64
+		for {
+			old = wd.bits.Load()
+			if old&bit != 0 || wd.bits.CompareAndSwap(old, old|bit) {
+				break
+			}
+		}
+		if wd.tag.Load() != want {
+			// Recycled underneath us: the bit may have been wiped, so the
+			// verdict is a conservative Stale (s is already below the newer
+			// published edge). If our flip instead landed AFTER the wipe it
+			// pollutes the slot's new block, and the one number aliasing
+			// that bit position is later mis-reported Duplicate — a
+			// conservative discard the ConcurrentWindow contract permits.
+			// The pollution is deliberately NOT undone: from here we cannot
+			// distinguish our surviving flip from a wiped flip followed by
+			// a legitimate delivery of the aliasing number, and clearing a
+			// delivered number's bit would re-admit its replay. Requires a
+			// claim stalled across a whole-ring slide, so the lost number
+			// is vanishingly rare; its retransmissions are rejected only
+			// until the slot recycles again.
+			return DecisionStale
+		}
+		if old&bit != 0 {
+			return DecisionDuplicate
+		}
+		return deliver
+	}
+}
+
+// Edge returns the right edge.
+func (a *Atomic) Edge() uint64 { return a.edge.Load() }
+
+// W returns the logical window width.
+func (a *Atomic) W() int { return a.w }
+
+// Seen reports whether s is marked received (stale numbers report true,
+// numbers above the edge false), mirroring Bitmap.Seen. Under concurrency
+// the answer is a racy snapshot.
+func (a *Atomic) Seen(s uint64) bool {
+	r := a.edge.Load()
+	if staleBelow(s, r, a.w) {
+		return true
+	}
+	if s > r {
+		return false
+	}
+	b := s / 64
+	wd := a.slot(b)
+	if tag := wd.tag.Load(); tag != stableTag(b) {
+		return tag > stableTag(b) // carried past: effectively stale; not yet recycled: unseen
+	}
+	return wd.bits.Load()&(uint64(1)<<(s%64)) != 0
+}
+
+// Reinit reinstalls the window at edge, full or empty. Unlike Admit, Reinit
+// requires external serialization against concurrent use (core.Receiver
+// calls it only while its write gate excludes the admission fast path).
+func (a *Atomic) Reinit(edge uint64, allSeen bool) {
+	a.reMu.Lock()
+	defer a.reMu.Unlock()
+	a.edge.Store(edge)
+	n := uint64(len(a.words))
+	top := edge / 64
+	// Reset every slot to its initial identity, then install the blocks at
+	// and below the edge; slots above the edge's reach keep blocks 0..n-1
+	// exactly as a fresh window would.
+	for i := uint64(0); i < n; i++ {
+		a.words[i].bits.Store(0)
+		a.words[i].tag.Store(stableTag(i))
+	}
+	lo := uint64(0)
+	if top >= n {
+		lo = top - n + 1
+	}
+	for b := lo; b <= top; b++ {
+		a.slot(b).tag.Store(stableTag(b))
+	}
+	if !allSeen {
+		return
+	}
+	first := uint64(1)
+	if edge > uint64(a.w) {
+		first = edge - uint64(a.w) + 1
+	}
+	for s := first; s <= edge; s++ {
+		a.slot(s / 64).bits.Or(uint64(1) << (s % 64))
+	}
+}

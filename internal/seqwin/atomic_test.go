@@ -1,0 +1,171 @@
+package seqwin
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAtomicDifferentialBoundaries runs Atomic and Bitmap in lockstep over
+// adversarial serial streams anchored at the edges the ESN machinery cares
+// about: 0, 1, and the 2^32 subspace boundary.
+func TestAtomicDifferentialBoundaries(t *testing.T) {
+	anchors := []uint64{0, 1, 1<<32 - 200, 1 << 32, 1<<32 + 3}
+	for _, w := range []int{1, 64, 100, 1024} {
+		for _, anchor := range anchors {
+			rng := rand.New(rand.NewSource(int64(w)*31 + int64(anchor%977)))
+			at, bm := NewAtomic(w), NewBitmap(w)
+			if anchor > 0 {
+				at.Reinit(anchor, false)
+				bm.Reinit(anchor, false)
+			}
+			base := anchor
+			for i := 0; i < 4000; i++ {
+				var s uint64
+				switch rng.Intn(10) {
+				case 0:
+					s = base + uint64(rng.Intn(3*w+10))
+				case 1:
+					d := uint64(rng.Intn(3 * w))
+					if d >= base {
+						s = 1
+					} else {
+						s = base - d
+					}
+				default:
+					s = base + uint64(rng.Intn(5))
+				}
+				if s > base {
+					base = s
+				}
+				da, db := at.Admit(s), bm.Admit(s)
+				if da != db {
+					t.Fatalf("w=%d anchor=%d step %d: Admit(%d): atomic=%v bitmap=%v",
+						w, anchor, i, s, da, db)
+				}
+				if at.Edge() != bm.Edge() {
+					t.Fatalf("w=%d anchor=%d step %d: edge: atomic=%d bitmap=%d",
+						w, anchor, i, at.Edge(), bm.Edge())
+				}
+			}
+		}
+	}
+}
+
+// TestAtomicConcurrentExactlyOnce is the load-bearing race test: many
+// goroutines admit an overlapping mix of fresh and replayed numbers, and no
+// number may ever be delivered twice — the Discrimination property under
+// concurrency. Run with -race.
+func TestAtomicConcurrentExactlyOnce(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+		span       = 40000
+	)
+	win := NewAtomic(128)
+	delivered := make([]atomic.Uint32, span+1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for i := 0; i < perG; i++ {
+				// Mostly walk forward, frequently replay recent numbers so
+				// goroutines collide on the same bits.
+				s := uint64(g + i*2 + 1)
+				if rng.Intn(3) == 0 {
+					s = uint64(rng.Intn(i*2+2) + 1)
+				}
+				if s > span {
+					s = span
+				}
+				if win.Admit(s).Deliver() {
+					delivered[s].Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for s := range delivered {
+		if n := delivered[s].Load(); n > 1 {
+			t.Fatalf("sequence %d delivered %d times", s, n)
+		}
+	}
+}
+
+// TestAtomicConcurrentSlides hammers the recycle path: goroutines race huge
+// edge advances (which lap the ring) against in-window admits and replays.
+// Exactly-once must survive; run with -race.
+func TestAtomicConcurrentSlides(t *testing.T) {
+	const goroutines = 8
+	win := NewAtomic(64)
+	var next atomic.Uint64
+	deliveredOnce := sync.Map{} // seq -> struct{}; double insert of a delivery is a bug
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 131))
+			for i := 0; i < 5000; i++ {
+				var s uint64
+				switch rng.Intn(4) {
+				case 0: // jump far ahead: laps the whole ring
+					s = next.Add(10_000)
+				case 1: // replay something old
+					s = uint64(rng.Intn(int(next.Load())+2) + 1)
+				default: // creep forward
+					s = next.Add(1)
+				}
+				if win.Admit(s).Deliver() {
+					if _, dup := deliveredOnce.LoadOrStore(s, struct{}{}); dup {
+						t.Errorf("sequence %d delivered twice", s)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestAtomicReinitAllSeen mirrors TestReinitAllSeen but also checks the
+// slot/tag bookkeeping survives a post-wake install above the ring span.
+func TestAtomicReinitAllSeen(t *testing.T) {
+	win := NewAtomic(64)
+	for s := uint64(1); s <= 30; s++ {
+		win.Admit(s)
+	}
+	win.Reinit(1<<32+130, true)
+	for _, s := range []uint64{1<<32 + 130, 1<<32 + 100, 1<<32 + 67} {
+		if d := win.Admit(s); d != DecisionDuplicate {
+			t.Errorf("Admit(%d) = %v, want duplicate", s, d)
+		}
+	}
+	if d := win.Admit(1<<32 + 66); d != DecisionStale {
+		t.Errorf("Admit(edge-64) = %v, want stale", d)
+	}
+	if d := win.Admit(1<<32 + 131); d != DecisionNew {
+		t.Errorf("Admit(edge+1) = %v, want new", d)
+	}
+}
+
+func TestNewAtomicPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAtomic(0) should panic")
+		}
+	}()
+	NewAtomic(0)
+}
+
+func TestInferESNPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("InferESN with w=0 should panic (ww-1 underflows)")
+		}
+	}()
+	InferESN(100, 50, 0)
+}

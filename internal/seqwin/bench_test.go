@@ -2,6 +2,7 @@ package seqwin
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -29,6 +30,7 @@ func BenchmarkAdmitInOrder(b *testing.B) {
 	for _, w := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("bool/w=%d", w), func(b *testing.B) { benchInOrder(b, NewBool(w)) })
 		b.Run(fmt.Sprintf("bitmap/w=%d", w), func(b *testing.B) { benchInOrder(b, NewBitmap(w)) })
+		b.Run(fmt.Sprintf("atomic/w=%d", w), func(b *testing.B) { benchInOrder(b, NewAtomic(w)) })
 	}
 	b.Run("fixed64", func(b *testing.B) { benchInOrder(b, NewFixed64()) })
 }
@@ -36,7 +38,23 @@ func BenchmarkAdmitInOrder(b *testing.B) {
 func BenchmarkAdmitInWindow(b *testing.B) {
 	b.Run("bool/w=64", func(b *testing.B) { benchInWindow(b, NewBool(64)) })
 	b.Run("bitmap/w=64", func(b *testing.B) { benchInWindow(b, NewBitmap(64)) })
+	b.Run("atomic/w=64", func(b *testing.B) { benchInWindow(b, NewAtomic(64)) })
 	b.Run("fixed64", func(b *testing.B) { benchInWindow(b, NewFixed64()) })
+}
+
+// BenchmarkAdmitAtomicParallel drives one Atomic window from every
+// benchmark goroutine (globally unique increasing numbers) — the raw
+// window-level scaling that the receiver fast path builds on. Run with
+// -cpu 1,2,4,8.
+func BenchmarkAdmitAtomicParallel(b *testing.B) {
+	win := NewAtomic(1024)
+	var ticket atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			win.Admit(ticket.Add(1))
+		}
+	})
 }
 
 func BenchmarkAdmitBigSlide(b *testing.B) {

@@ -1,5 +1,7 @@
 package seqwin
 
+import "fmt"
+
 // InferESN reconstructs a 64-bit extended sequence number from the 32 bits
 // carried on the wire, following the RFC 4303 Appendix A2 procedure.
 //
@@ -18,7 +20,14 @@ package seqwin
 // packet's ICV computed over the inferred high half before trusting the
 // result, exactly as RFC 4303 prescribes. When edge straddles nothing yet
 // (Th == 0) the "previous subspace" interpretation is clamped to subspace 0.
+//
+// InferESN panics if w < 1 (programmer error, like the window constructors):
+// the w-1 window arithmetic underflows there and would silently misinfer
+// every high half.
 func InferESN(edge uint64, lo uint32, w int) uint64 {
+	if w < 1 {
+		panic(fmt.Sprintf("seqwin: InferESN window width %d < 1", w))
+	}
 	th := uint32(edge >> 32)
 	tl := uint32(edge)
 	ww := uint32(w)

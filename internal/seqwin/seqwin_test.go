@@ -14,6 +14,7 @@ func allWindows(w int) map[string]Window {
 	ws := map[string]Window{
 		"bool":   NewBool(w),
 		"bitmap": NewBitmap(w),
+		"atomic": NewAtomic(w),
 	}
 	if w == Fixed64Width {
 		ws["fixed64"] = NewFixed64()

@@ -137,7 +137,7 @@ func (p *Peer) install(outSPI uint32, outKeys ipsec.KeyMaterial, inSPI uint32, i
 	if err != nil {
 		return fmt.Errorf("tunnel: %s receiver: %w", p.cfg.Name, err)
 	}
-	out, err := ipsec.NewOutboundSA(outSPI, outKeys, snd, p.cfg.Lifetime, p.cfg.Clock)
+	out, err := ipsec.NewOutboundSA(outSPI, outKeys, snd, true, p.cfg.Lifetime, p.cfg.Clock)
 	if err != nil {
 		return fmt.Errorf("tunnel: %s outbound SA: %w", p.cfg.Name, err)
 	}
