@@ -66,6 +66,9 @@ var (
 	ErrDuplicateSPI = ipsec.ErrDuplicateSPI
 	// ErrKeySize reports invalid key material.
 	ErrKeySize = ipsec.ErrKeySize
+	// ErrDraining reports a Seal on an outbound SA that a rekey has cut
+	// traffic away from; its successor owns the flow.
+	ErrDraining = ipsec.ErrDraining
 )
 
 // NewOutboundSA builds an outbound SA over a reset-resilient sender. esn

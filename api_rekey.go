@@ -1,0 +1,79 @@
+package antireplay
+
+import (
+	"antireplay/internal/ike"
+	"antireplay/internal/rekey"
+)
+
+// Rekey orchestration types, re-exported from the implementation.
+type (
+	// RekeyOrchestrator watches tracked tunnels between two gateways and
+	// performs IKE-driven make-before-break SA rollover: install successor
+	// inbound SAs (counters durable first), cut outbound traffic over,
+	// drain the old generation behind a grace window, then retire it and
+	// tombstone its journal cells.
+	RekeyOrchestrator = rekey.Orchestrator
+	// RekeyConfig configures a RekeyOrchestrator.
+	RekeyConfig = rekey.Config
+	// RekeyTunnel is one tracked SA pair and its rollover state.
+	RekeyTunnel = rekey.Tunnel
+	// RekeyStats counts orchestrator activity.
+	RekeyStats = rekey.Stats
+	// RekeyState is a tunnel's rollover lifecycle state.
+	RekeyState = rekey.State
+	// IKERekeyInitiator drives the initiating side of a CREATE_CHILD_SA-
+	// style rekey exchange, transcript-bound to the SA pair it replaces.
+	IKERekeyInitiator = ike.RekeyInitiator
+	// IKERekeyResponder drives the responding side of a rekey exchange.
+	IKERekeyResponder = ike.RekeyResponder
+	// IKERekeyResult summarizes a completed in-memory rekey exchange.
+	IKERekeyResult = ike.RekeyResult
+)
+
+// Tunnel rollover states.
+const (
+	RekeySteady   = rekey.StateSteady
+	RekeyDraining = rekey.StateDraining
+)
+
+// DefaultRekeyMaxAttempts bounds exchange retries per rollover trigger.
+const DefaultRekeyMaxAttempts = rekey.DefaultMaxAttempts
+
+// Rekey errors.
+var (
+	// ErrRekeyUnknownTunnel reports a Track of SPIs not registered in the
+	// gateways.
+	ErrRekeyUnknownTunnel = rekey.ErrUnknownTunnel
+	// ErrRolloverInProgress reports a Rollover while the previous
+	// generation is still draining.
+	ErrRolloverInProgress = rekey.ErrRolloverInProgress
+	// ErrIKERekeyBinding reports a rekey exchange bound to a different SA
+	// pair than the party was configured to roll over.
+	ErrIKERekeyBinding = ike.ErrRekeyBinding
+)
+
+// NewRekeyOrchestrator validates cfg and returns an orchestrator with no
+// tracked tunnels; see RekeyConfig for the knobs (gateways, IKE
+// configurations, grace window, retry budget, clock).
+func NewRekeyOrchestrator(cfg RekeyConfig) (*RekeyOrchestrator, error) {
+	return rekey.New(cfg)
+}
+
+// NewIKERekeyInitiator returns an initiator that will roll over the child
+// SA pair (oldIR, oldRI).
+func NewIKERekeyInitiator(cfg IKEConfig, oldIR, oldRI uint32) (*IKERekeyInitiator, error) {
+	return ike.NewRekeyInitiator(cfg, oldIR, oldRI)
+}
+
+// NewIKERekeyResponder returns a responder that only completes a rekey of
+// the child SA pair (oldIR, oldRI).
+func NewIKERekeyResponder(cfg IKEConfig, oldIR, oldRI uint32) (*IKERekeyResponder, error) {
+	return ike.NewRekeyResponder(cfg, oldIR, oldRI)
+}
+
+// RekeyChildSA runs the complete one-round-trip rekey exchange in memory
+// for the child SA pair (oldIR, oldRI) — half the messages of EstablishSA,
+// with the successor keys bound to the generation they replace.
+func RekeyChildSA(initCfg, respCfg IKEConfig, oldIR, oldRI uint32) (IKERekeyResult, error) {
+	return ike.RekeyChild(initCfg, respCfg, oldIR, oldRI)
+}

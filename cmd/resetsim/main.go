@@ -7,16 +7,35 @@
 //
 //	resetsim -baseline -msgs 2000 -reset-receiver 1500 -replay
 //	resetsim           -msgs 2000 -reset-receiver 1500 -replay
+//
+// With -rekey-every n the simulation switches from a bare sender→receiver
+// flow to a journal-backed gateway pair whose tunnel is rolled over by the
+// rekey orchestrator every n delivered packets (make-before-break: install
+// inbound, cut outbound, drain, retire). -loss then also applies to the
+// rekey exchange's messages (lost messages retry), and -reset-receiver N
+// crashes the whole receiver gateway mid-exchange at the first rollover
+// after N deliveries:
+//
+//	resetsim -rekey-every 500 -msgs 2000 -loss 0.05 -reset-receiver 800
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net/netip"
 	"os"
+	"path/filepath"
 	"time"
 
+	"antireplay/internal/core"
 	"antireplay/internal/experiments"
+	"antireplay/internal/ike"
+	"antireplay/internal/ipsec"
 	"antireplay/internal/netsim"
+	"antireplay/internal/rekey"
+	"antireplay/internal/store"
 )
 
 func main() {
@@ -36,8 +55,17 @@ func main() {
 		outage   = flag.Duration("outage", time.Millisecond, "reset outage duration")
 		replay   = flag.Bool("replay", false, "adversary replays the full history after the receiver wake-up")
 		leap     = flag.Float64("leap", 0, "leap factor override (0 = paper's 2)")
+		rekeyN   = flag.Uint64("rekey-every", 0, "roll the SA over every n delivered packets on a gateway pair (0 = plain flow mode)")
 	)
 	flag.Parse()
+
+	if *rekeyN > 0 {
+		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w); err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultFlowConfig(*seed)
 	cfg.Kp, cfg.Kq, cfg.W = *kp, *kq, *w
@@ -104,4 +132,208 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resetsim: SAFETY VIOLATION under the resilient protocol")
 		os.Exit(1)
 	}
+}
+
+// runRekeySim is the -rekey-every mode: a journal-backed gateway pair whose
+// single tunnel the rekey orchestrator rolls over every rekeyEvery
+// delivered packets. loss applies both to data packets and to the rekey
+// exchange's messages; resetAt > 0 crashes the receiver gateway
+// mid-exchange at the first rollover after that many deliveries.
+func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int) error {
+	dir, err := os.MkdirTemp("", "resetsim-rekey-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	mkGateway := func(name string) (*ipsec.Gateway, error) {
+		j, err := store.OpenJournal(filepath.Join(dir, name+".journal"))
+		if err != nil {
+			return nil, err
+		}
+		return ipsec.NewGateway(ipsec.GatewayConfig{Journal: j, K: k, W: w})
+	}
+	gwA, err := mkGateway("a")
+	if err != nil {
+		return err
+	}
+	defer func() { gwA.Close(); gwA.Journal().Close() }()
+	gwB, err := mkGateway("b")
+	if err != nil {
+		return err
+	}
+	defer func() { gwB.Close(); gwB.Journal().Close() }()
+
+	rng := rand.New(rand.NewSource(seed))
+	ikeCfg := func(id string) ike.Config {
+		return ike.Config{PSK: []byte("resetsim"), ID: id,
+			Rand: rand.New(rand.NewSource(rng.Int63()))}
+	}
+	srcA := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	dstB := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	selAB := ipsec.Selector{Src: netip.PrefixFrom(srcA, 32), Dst: netip.PrefixFrom(dstB, 32)}
+	selBA := ipsec.Selector{Src: netip.PrefixFrom(dstB, 32), Dst: netip.PrefixFrom(srcA, 32)}
+
+	res, err := ike.Establish(ikeCfg("gw-a"), ikeCfg("gw-b"))
+	if err != nil {
+		return err
+	}
+	keys := res.Keys
+	if _, err := gwA.AddOutbound(keys.SPIInitToResp, keys.InitToResp, selAB); err != nil {
+		return err
+	}
+	if _, err := gwA.AddInbound(keys.SPIRespToInit, keys.RespToInit); err != nil {
+		return err
+	}
+	if _, err := gwB.AddInbound(keys.SPIInitToResp, keys.InitToResp); err != nil {
+		return err
+	}
+	if _, err := gwB.AddOutbound(keys.SPIRespToInit, keys.RespToInit, selBA); err != nil {
+		return err
+	}
+
+	var (
+		delivered, sacrificed, lost uint64
+		resetsInjected              int
+		armReset                    bool
+		history                     [][]byte
+		seen                        = make(map[string]bool)
+	)
+	o, err := rekey.New(rekey.Config{
+		A: gwA, B: gwB,
+		Exchange: func(oldAB, oldBA uint32) (ike.ChildKeys, error) {
+			ini, err := ike.NewRekeyInitiator(ikeCfg("gw-a"), oldAB, oldBA)
+			if err != nil {
+				return ike.ChildKeys{}, err
+			}
+			rsp, err := ike.NewRekeyResponder(ikeCfg("gw-b"), oldAB, oldBA)
+			if err != nil {
+				return ike.ChildKeys{}, err
+			}
+			m1, err := ini.Request()
+			if err != nil {
+				return ike.ChildKeys{}, err
+			}
+			if armReset {
+				armReset = false
+				resetsInjected++
+				fmt.Printf("delivered=%d  receiver gateway reset mid-exchange\n", delivered)
+				gwB.ResetAll()
+				gwB.WakeAll() //nolint:errcheck // recovery failures surface as exchange errors below
+			}
+			if rng.Float64() < loss {
+				return ike.ChildKeys{}, errors.New("rekey request lost")
+			}
+			m2, err := rsp.HandleRequest(m1)
+			if err != nil {
+				return ike.ChildKeys{}, err
+			}
+			if rng.Float64() < loss {
+				return ike.ChildKeys{}, errors.New("rekey response lost")
+			}
+			if err := ini.HandleResponse(m2); err != nil {
+				return ike.ChildKeys{}, err
+			}
+			return ini.ChildKeys(), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	tun, err := o.Track(keys.SPIInitToResp, keys.SPIRespToInit)
+	if err != nil {
+		return err
+	}
+
+	seal := func() ([]byte, error) {
+		for {
+			wire, err := gwA.Seal(srcA, dstB, []byte("resetsim payload"))
+			if err == nil {
+				history = append(history, wire)
+				return wire, nil
+			}
+			if !errors.Is(err, core.ErrSaveLag) {
+				return nil, err
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	open := func(wire []byte) error {
+		for {
+			_, verdict, err := gwB.Open(wire)
+			if err != nil {
+				return err
+			}
+			switch {
+			case verdict == core.VerdictHorizon:
+				time.Sleep(20 * time.Microsecond)
+			case verdict.Delivered():
+				delivered++
+				seen[string(wire)] = true
+				return nil
+			default:
+				sacrificed++
+				return nil
+			}
+		}
+	}
+
+	resetArmed := resetAt > 0
+	sinceRekey := uint64(0)
+	for i := uint64(0); i < msgs; i++ {
+		wire, err := seal()
+		if err != nil {
+			return err
+		}
+		if rng.Float64() < loss {
+			lost++
+			continue
+		}
+		if err := open(wire); err != nil {
+			return err
+		}
+		sinceRekey++
+		if resetArmed && delivered >= resetAt {
+			resetArmed, armReset = false, true
+		}
+		if sinceRekey >= rekeyEvery {
+			sinceRekey = 0
+			for attempt := 1; ; attempt++ {
+				err := o.Rollover(tun)
+				if err == nil {
+					ab, ba := tun.SPIs()
+					fmt.Printf("delivered=%d  rolled over to SPIs %#x/%#x (attempt %d)\n",
+						delivered, ab, ba, attempt)
+					break
+				}
+				if attempt >= 64 {
+					return fmt.Errorf("rollover never converged: %w", err)
+				}
+			}
+			if err := o.Poll(); err != nil { // Grace 0: retire the drained generation
+				return err
+			}
+		}
+	}
+
+	// Adversary: replay the entire recorded history. A second delivery of
+	// any wire is a safety violation.
+	replays := 0
+	for _, wire := range history {
+		_, verdict, _ := gwB.Open(wire)
+		if verdict.Delivered() && seen[string(wire)] {
+			replays++
+		}
+	}
+
+	st := o.Stats()
+	fmt.Printf("\nsent=%d delivered=%d lost=%d sacrificed=%d\n", msgs, delivered, lost, sacrificed)
+	fmt.Printf("rollovers=%d exchange_failures=%d retired=%d resets_injected=%d\n",
+		st.Rollovers, st.ExchangeFailures, st.Retired, resetsInjected)
+	fmt.Printf("journal keys: A=%d B=%d (retired generations tombstoned)\n",
+		gwA.Journal().Keys(), gwB.Journal().Keys())
+	fmt.Printf("replayed full history: %d re-accepted (MUST be 0)\n", replays)
+	if replays > 0 {
+		return fmt.Errorf("SAFETY VIOLATION: %d replays accepted across rekeys", replays)
+	}
+	return nil
 }

@@ -1,0 +1,48 @@
+package antireplay_test
+
+// The documentation gate as a tier-1 test: the same link check CI runs
+// (internal/tools/mdlinkcheck) plus structural assertions that keep the
+// docs wired together — README must link DESIGN.md, DESIGN.md must exist,
+// and no tracked markdown file may reference files that are not there.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"antireplay/internal/doccheck"
+)
+
+var docFiles = []string{"README.md", "DESIGN.md", "CHANGES.md", "PAPER.md", "ROADMAP.md"}
+
+func TestMarkdownLinks(t *testing.T) {
+	broken, err := doccheck.Check(docFiles...)
+	if err != nil {
+		t.Fatalf("link check: %v", err)
+	}
+	for _, b := range broken {
+		t.Error(b)
+	}
+}
+
+func TestREADMELinksDesign(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	if !strings.Contains(string(data), "DESIGN.md") {
+		t.Error("README.md does not link DESIGN.md")
+	}
+}
+
+func TestDesignCoversLayers(t *testing.T) {
+	data, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN: %v", err)
+	}
+	for _, layer := range []string{"seqwin", "core", "store", "ipsec", "netsim", "rekey"} {
+		if !strings.Contains(string(data), layer) {
+			t.Errorf("DESIGN.md does not mention layer %q", layer)
+		}
+	}
+}

@@ -6,6 +6,17 @@
 // contents (the SA's integrity key prevents that), only re-insert copies of
 // messages it has observed — "an adversary can insert in the message stream
 // from p to q a copy of any message t that was sent earlier by p" (§2).
+//
+// Recorder taps a link at the wiretap position (seeing what the sender
+// transmits, including messages the network then loses — the adversary's
+// antenna is not subject to the victim's packet loss), and Replayer turns
+// the recording into injection schedules: everything at once after a
+// wake-up (the §3 catastrophe's strongest shape), a sliding window of
+// recent traffic, or arbitrary programmed subsets. Injections bypass the
+// link's loss model because the adversary controls its own transmissions.
+// The experiment harness pairs every replayed packet with ground truth in a
+// trace.Matrix, so "replay accepted" is counted from the harness's
+// knowledge, not inferred from verdicts.
 package adversary
 
 import (

@@ -1,0 +1,65 @@
+// Package doccheck is the documentation system's lint: a markdown link
+// checker that fails on references to files that do not exist. It exists
+// because PR 1 shipped a README that pointed at a DESIGN.md nobody had
+// written — the docs-rot class of bug that only a gate catches. The CI
+// docs gate runs it via cmd-style wrapper internal/tools/mdlinkcheck, and
+// docs_test.go runs the same check inside `go test` so tier-1 catches
+// dangling references locally.
+package doccheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target); reference-style
+// links are rare enough here not to be worth the parser.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckFile scans one markdown file and returns a description of every
+// broken relative link (the target, stripped of any #fragment, does not
+// exist relative to the file's directory). External schemes and pure
+// fragments are skipped. A missing or unreadable file is itself an error.
+func CheckFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %w", err)
+	}
+	dir := filepath.Dir(path)
+	var broken []string
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		switch {
+		case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+			continue // external
+		case strings.HasPrefix(target, "#"):
+			continue // intra-document fragment
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q", path, m[1]))
+		}
+	}
+	return broken, nil
+}
+
+// Check runs CheckFile over every path and aggregates the findings.
+func Check(paths ...string) ([]string, error) {
+	var all []string
+	for _, p := range paths {
+		broken, err := CheckFile(p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, broken...)
+	}
+	return all, nil
+}

@@ -13,6 +13,16 @@
 // inbound authenticated traffic proves liveness; after an idle timeout the
 // monitor sends R-U-THERE probes and declares the peer dead after N
 // unacknowledged probes. Timers run on the deterministic simulation engine.
+//
+// The monitor walks StateAlive -> StateProbing -> StateDead -> StateExpired:
+// probing begins at the idle timeout, death is declared after MaxProbes
+// unacknowledged probes, and expiry (the hold time's end, when a real
+// implementation would finally delete the SAs) models the bound the paper
+// places on how long a surviving host waits for its peer's resurrection.
+// Any authenticated inbound traffic — data, ack, or the §6 resync message —
+// snaps the monitor back to alive. The prolonged-reset experiment
+// (internal/experiments, "prolonged") drives this state machine against
+// scheduled outages to regenerate the §6 recovery-time analysis.
 package dpd
 
 import (

@@ -193,6 +193,15 @@ func All() []Runner {
 			}
 			return Datapath(cfg)
 		}},
+		{ID: "rekey", Paper: "extension: IKE-driven rollover under resets (make-before-break)", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultRekeyConfig()
+			if fast {
+				cfg.FastDH = true
+				cfg.Tunnels = 2
+				cfg.LossProbs = []float64{0, 0.25}
+			}
+			return RekeyRollover(cfg)
+		}},
 	}
 }
 

@@ -469,7 +469,7 @@ func TestLossJumpHorizonCliff(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "unbounded", "sizing", "convsender",
 		"convreceiver", "recovery", "prolonged", "doublereset", "leap",
-		"delivery", "overhead", "horizon", "gateway", "datapath"}
+		"delivery", "overhead", "horizon", "gateway", "datapath", "rekey"}
 	rs := All()
 	if len(rs) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(rs), len(want))

@@ -213,6 +213,12 @@ func deriveChildKeys(skeyseed, ni, nr []byte, spiIR, spiRI uint32) ChildKeys {
 	seed = append(seed, nr...)
 	seed = binary.BigEndian.AppendUint32(seed, spiIR)
 	seed = binary.BigEndian.AppendUint32(seed, spiRI)
+	return deriveFromSeed(skeyseed, seed, spiIR, spiRI)
+}
+
+// deriveFromSeed runs the PRF+ expansion over an already-assembled seed and
+// slices the output into the two directions' key material.
+func deriveFromSeed(skeyseed, seed []byte, spiIR, spiRI uint32) ChildKeys {
 	const per = ipsec.AuthKeySize + ipsec.EncKeySize
 	km := prfPlus(skeyseed, seed, 2*per)
 	return ChildKeys{

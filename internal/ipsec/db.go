@@ -183,6 +183,69 @@ func (p *SPD) Len() int {
 	return len(p.entries)
 }
 
+// Replace atomically repoints every entry carrying old to carry new,
+// preserving each entry's selector and position — the outbound cutover of a
+// make-before-break rekey: one moment the selectors seal on the old
+// generation, the next on its successor, with no window where a lookup can
+// miss. Returns the number of entries repointed.
+func (p *SPD) Replace(old, new *OutboundSA) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].sa == old {
+			p.entries[i].sa = new
+			n++
+		}
+	}
+	for pair, sa := range p.exact {
+		if sa == old {
+			p.exact[pair] = new
+		}
+	}
+	return n
+}
+
+// Remove deletes every entry whose SA has the given SPI, returning how many
+// were removed. The host-route index and the scan-all flag are rebuilt from
+// the surviving entries, so first-match-wins semantics are preserved — and a
+// removal that takes out the only non-host selector restores O(1) lookups.
+func (p *SPD) Remove(spi uint32) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.entries[:0]
+	n := 0
+	for _, e := range p.entries {
+		if e.sa.SPI() == spi {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if n == 0 {
+		return 0
+	}
+	// Zero the removed tail so the dropped SAs are collectable.
+	for i := len(kept); i < len(p.entries); i++ {
+		p.entries[i] = spdEntry{}
+	}
+	p.entries = kept
+	p.scanAll = false
+	p.exact = make(map[hostPair]*OutboundSA)
+	for _, e := range p.entries {
+		if !p.scanAll && e.sel.Src.IsSingleIP() && e.sel.Dst.IsSingleIP() {
+			pair := hostPair{src: e.sel.Src.Addr(), dst: e.sel.Dst.Addr()}
+			if _, dup := p.exact[pair]; !dup {
+				p.exact[pair] = e.sa
+			}
+		} else {
+			p.scanAll = true
+			p.exact = nil
+		}
+	}
+	return n
+}
+
 // Lookup returns the first SA whose selector covers (src, dst).
 func (p *SPD) Lookup(src, dst netip.Addr) (*OutboundSA, bool) {
 	p.mu.RLock()

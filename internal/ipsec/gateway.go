@@ -90,8 +90,12 @@ type Gateway struct {
 	// inbound SAs live only in the SAD (iterated via Range).
 	outbound []*OutboundSA
 	// claimed holds the journal keys this gateway owns, released on
-	// RemoveInbound and Close.
+	// RemoveInbound/RemoveOutbound and Close.
 	claimed map[string]bool
+	// savers holds each claimed key's pool handle, so removal can flush
+	// in-flight background saves before tombstoning the cell (a stale save
+	// landing after the tombstone would resurrect the retired counter).
+	savers map[string]*store.PoolSaver
 }
 
 // claimCell claims the journal cell for key and reads whether it holds a
@@ -122,6 +126,16 @@ func (g *Gateway) claimCell(key string, spi uint32, dir string) (*store.Cell, bo
 	return cell, resume, nil
 }
 
+// registerSaver records a claimed key's pool handle for removal-time
+// flushing; no-op if the claim was lost to a concurrent Close.
+func (g *Gateway) registerSaver(key string, s *store.PoolSaver) {
+	g.mu.Lock()
+	if g.claimed[key] {
+		g.savers[key] = s
+	}
+	g.mu.Unlock()
+}
+
 // releaseCell drops a claim taken by claimCell (failed registration, SA
 // removal, or a registration that lost a race with Close). The journal
 // release only happens while this gateway still owns the key: once Close
@@ -132,6 +146,7 @@ func (g *Gateway) releaseCell(key string) {
 	g.mu.Lock()
 	owned := g.claimed[key]
 	delete(g.claimed, key)
+	delete(g.savers, key)
 	g.mu.Unlock()
 	if owned {
 		g.cfg.Journal.ReleaseCell(key)
@@ -152,6 +167,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		sad:     NewSAD(),
 		spd:     NewSPD(),
 		claimed: make(map[string]bool),
+		savers:  make(map[string]*store.PoolSaver),
 	}
 	if g.pool == nil {
 		g.pool = store.NewSaverPool(cfg.Workers)
@@ -166,31 +182,28 @@ func OutboundKey(spi uint32) string { return fmt.Sprintf("tx/%08x", spi) }
 // InboundKey is the journal key of an inbound SA's window edge.
 func InboundKey(spi uint32) string { return fmt.Sprintf("rx/%08x", spi) }
 
-// AddOutbound creates an outbound SA whose sender persists into the shared
-// journal under OutboundKey(spi), registers it in the SPD under sel, and
-// returns it. The journal cell is claimed exclusively: reusing a live SPI —
-// even from another gateway sharing the journal — is refused with
-// ErrDuplicateSPI, because two senders over one cell would emit overlapping
-// sequence numbers after a wake. If the journal already holds state for the
-// SPI (a prior process life), the SA resumes through the paper's wake-up
-// (FETCH + 2K leap + SAVE) rather than restarting at 1; it is briefly
-// StateWaking — WakeAll waits for it.
-func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*OutboundSA, error) {
+// buildOutbound claims the journal cell for spi and constructs the SA over
+// a resilient sender, resuming through the paper's wake-up when the cell
+// holds a prior life's counter. The SA is not yet registered; on error the
+// claim is already released.
+func (g *Gateway) buildOutbound(spi uint32, keys KeyMaterial) (*OutboundSA, error) {
 	key := OutboundKey(spi)
 	cell, resume, err := g.claimCell(key, spi, "outbound")
 	if err != nil {
 		return nil, err
 	}
+	saver := g.pool.Saver(cell)
 	snd, err := core.NewSender(core.SenderConfig{
 		K:             g.cfg.K,
 		Store:         cell,
-		Saver:         g.pool.Saver(cell),
+		Saver:         saver,
 		StrictHorizon: !g.cfg.NoStrictHorizon,
 	})
 	if err != nil {
 		g.releaseCell(key)
 		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, err)
 	}
+	g.registerSaver(key, saver)
 	sa, err := NewOutboundSA(spi, keys, snd, g.cfg.ESN, g.cfg.Lifetime, g.cfg.Clock)
 	if err != nil {
 		g.releaseCell(key)
@@ -202,6 +215,23 @@ func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*Outb
 		snd.Reset()
 		snd.Wake()
 	}
+	return sa, nil
+}
+
+// AddOutbound creates an outbound SA whose sender persists into the shared
+// journal under OutboundKey(spi), registers it in the SPD under sel, and
+// returns it. The journal cell is claimed exclusively: reusing a live SPI —
+// even from another gateway sharing the journal — is refused with
+// ErrDuplicateSPI, because two senders over one cell would emit overlapping
+// sequence numbers after a wake. If the journal already holds state for the
+// SPI (a prior process life), the SA resumes through the paper's wake-up
+// (FETCH + 2K leap + SAVE) rather than restarting at 1; it is briefly
+// StateWaking — WakeAll waits for it.
+func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*OutboundSA, error) {
+	sa, err := g.buildOutbound(spi, keys)
+	if err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	if g.closed {
 		// Close ran between the claim and here and already released the
@@ -209,7 +239,7 @@ func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*Outb
 		// successor gateway can claim too. releaseCell no-ops if Close got
 		// there first.
 		g.mu.Unlock()
-		g.releaseCell(key)
+		g.releaseCell(OutboundKey(spi))
 		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, store.ErrClosed)
 	}
 	g.outbound = append(g.outbound, sa)
@@ -218,22 +248,115 @@ func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*Outb
 	return sa, nil
 }
 
-// AddInbound creates an inbound SA whose receiver persists into the shared
-// journal under InboundKey(spi), registers it in the SAD, and returns it.
-// Duplicate SPIs and prior journal state are handled as in AddOutbound: the
-// cell is claimed exclusively, and a recovered window edge resumes through
-// the wake-up leap instead of re-accepting old sequence numbers.
-func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
+// RekeyOutbound performs the outbound half of a make-before-break rollover:
+// it builds a successor SA for newSPI (counter durably initialized in the
+// shared journal before any cutover — a reset mid-rekey recovers both
+// generations independently), atomically repoints every SPD entry from the
+// old SA to the successor, and retires the old SA from new traffic
+// (BeginDrain: further Seals on it fail with ErrDraining). The old SA stays
+// registered so its journal cell remains owned; retire it with
+// RemoveOutbound once the peer has confirmed its inbound cutover and any
+// in-flight packets have drained.
+//
+// The successor records its lineage: Generation is the old SA's plus one and
+// PrevSPI names the old SPI.
+func (g *Gateway) RekeyOutbound(oldSPI, newSPI uint32, keys KeyMaterial) (*OutboundSA, error) {
+	old := g.findOutbound(oldSPI)
+	if old == nil {
+		return nil, fmt.Errorf("ipsec: rekey outbound %#x: %w: no such SA", oldSPI, ErrUnknownSPI)
+	}
+	sa, err := g.buildOutbound(newSPI, keys)
+	if err != nil {
+		return nil, err
+	}
+	sa.setLineage(old.Generation()+1, oldSPI)
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.releaseCell(OutboundKey(newSPI))
+		return nil, fmt.Errorf("ipsec: rekey outbound %#x: %w", newSPI, store.ErrClosed)
+	}
+	g.outbound = append(g.outbound, sa)
+	g.spd.Replace(old, sa) // the cutover: one atomic repoint under the SPD lock
+	g.mu.Unlock()
+	old.BeginDrain()
+	return sa, nil
+}
+
+// RevertOutbound undoes a RekeyOutbound whose wider rollover failed before
+// the peer cut its side over: the old SA resumes sealing, every SPD entry
+// is repointed back from the successor to it, and the successor is
+// unregistered with its journal cell retired (so its SPI and counter leave
+// no residue). Reports whether both SAs were registered. The brief window
+// in which the SPD already points at the old SA while it still refuses
+// seals surfaces as ErrDraining — the same bounded backpressure as
+// ErrSaveLag, cleared by the endDrain below.
+func (g *Gateway) RevertOutbound(oldSPI, newSPI uint32) bool {
+	g.mu.Lock()
+	old := g.findOutboundLocked(oldSPI)
+	nu := g.findOutboundLocked(newSPI)
+	if old == nil || nu == nil {
+		g.mu.Unlock()
+		return false
+	}
+	kept := g.outbound[:0]
+	for _, o := range g.outbound {
+		if o != nu {
+			kept = append(kept, o)
+		}
+	}
+	for i := len(kept); i < len(g.outbound); i++ {
+		g.outbound[i] = nil
+	}
+	g.outbound = kept
+	g.spd.Replace(nu, old)
+	g.mu.Unlock()
+	old.endDrain()
+	nu.BeginDrain()
+	nu.Sender().Reset()
+	g.retireCell(OutboundKey(newSPI)) //nolint:errcheck // see RemoveInbound
+	return true
+}
+
+// findOutbound returns the registered outbound SA with the given SPI.
+func (g *Gateway) findOutbound(spi uint32) *OutboundSA {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.findOutboundLocked(spi)
+}
+
+func (g *Gateway) findOutboundLocked(spi uint32) *OutboundSA {
+	for _, sa := range g.outbound {
+		if sa.SPI() == spi {
+			return sa
+		}
+	}
+	return nil
+}
+
+// Outbound returns the registered outbound SA with the given SPI — the
+// outbound analogue of SAD().Lookup, used by lifecycle machinery (rekey
+// orchestration, lifetime monitoring) that addresses SAs by SPI rather than
+// by traffic selector.
+func (g *Gateway) Outbound(spi uint32) (*OutboundSA, bool) {
+	sa := g.findOutbound(spi)
+	return sa, sa != nil
+}
+
+// buildInbound claims the journal cell for spi and constructs the SA over a
+// resilient fast-path receiver; see buildOutbound.
+func (g *Gateway) buildInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
 	key := InboundKey(spi)
 	cell, resume, err := g.claimCell(key, spi, "inbound")
 	if err != nil {
 		return nil, err
 	}
+	saver := g.pool.Saver(cell)
 	rcv, err := core.NewReceiver(core.ReceiverConfig{
 		K:             g.cfg.K,
 		W:             g.cfg.W,
 		Store:         cell,
-		Saver:         g.pool.Saver(cell),
+		Saver:         saver,
 		StrictHorizon: !g.cfg.NoStrictHorizon,
 		// Gateways admit from many NIC queues at once: use the concurrent
 		// window so per-packet admission runs on the receiver fast path.
@@ -243,6 +366,7 @@ func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
 		g.releaseCell(key)
 		return nil, fmt.Errorf("ipsec: gateway inbound %#x: %w", spi, err)
 	}
+	g.registerSaver(key, saver)
 	sa, err := NewInboundSA(spi, keys, rcv, g.cfg.ESN, g.cfg.Lifetime, g.cfg.Clock)
 	if err != nil {
 		g.releaseCell(key)
@@ -252,13 +376,58 @@ func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
 		rcv.Reset()
 		rcv.Wake()
 	}
+	return sa, nil
+}
+
+// AddInbound creates an inbound SA whose receiver persists into the shared
+// journal under InboundKey(spi), registers it in the SAD, and returns it.
+// Duplicate SPIs and prior journal state are handled as in AddOutbound: the
+// cell is claimed exclusively, and a recovered window edge resumes through
+// the wake-up leap instead of re-accepting old sequence numbers.
+func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
+	sa, err := g.buildInbound(spi, keys)
+	if err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		g.releaseCell(key)
+		g.releaseCell(InboundKey(spi))
 		return nil, fmt.Errorf("ipsec: gateway inbound %#x: %w", spi, store.ErrClosed)
 	}
 	g.sad.Add(sa) // inside g.mu so Close cannot interleave
+	g.mu.Unlock()
+	return sa, nil
+}
+
+// RekeyInbound performs the inbound "make" half of a make-before-break
+// rollover: the successor SA for newSPI is installed in the SAD — its window
+// edge durably initialized in the journal — while the old SA keeps
+// verifying, so the peer can cut its outbound side over whenever it likes
+// and packets of both generations authenticate during the overlap. The old
+// SA is deliberately NOT marked draining here: the make step can still be
+// rolled back if the wider rollover fails, and until the cutover actually
+// happens the old generation is simply live. The orchestrator marks it
+// draining (InboundSA.BeginDrain, advisory — it still verifies) once both
+// outbound sides have cut over, and retires it with RemoveInbound after the
+// grace window. The successor records its lineage as in RekeyOutbound.
+func (g *Gateway) RekeyInbound(oldSPI, newSPI uint32, keys KeyMaterial) (*InboundSA, error) {
+	old, ok := g.sad.Lookup(oldSPI)
+	if !ok {
+		return nil, fmt.Errorf("ipsec: rekey inbound %#x: %w: no such SA", oldSPI, ErrUnknownSPI)
+	}
+	sa, err := g.buildInbound(newSPI, keys)
+	if err != nil {
+		return nil, err
+	}
+	sa.setLineage(old.Generation()+1, oldSPI)
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.releaseCell(InboundKey(newSPI))
+		return nil, fmt.Errorf("ipsec: rekey inbound %#x: %w", newSPI, store.ErrClosed)
+	}
+	g.sad.Add(sa)
 	g.mu.Unlock()
 	return sa, nil
 }
@@ -378,9 +547,17 @@ func (g *Gateway) WakeAll() error {
 		sa.Receiver().Wake()
 	}
 	for _, sa := range snap.outbound {
-		for sa.Sender().State() != core.StateUp {
+		for i := 0; sa.Sender().State() != core.StateUp; i++ {
 			if err := sa.Sender().LastWakeError(); err != nil {
 				return fmt.Errorf("ipsec: gateway wake outbound %#x: %w", sa.SPI(), err)
+			}
+			// An SA removed while waking is permanently down (removal
+			// resets it with no wake scheduled); without this check the
+			// wait would spin forever. The outbound registry is a linear
+			// scan under g.mu, so the re-check is throttled to every ~5ms
+			// of waiting rather than every 50µs poll.
+			if i%100 == 99 && g.findOutbound(sa.SPI()) != sa {
+				break
 			}
 			time.Sleep(50 * time.Microsecond)
 		}
@@ -389,6 +566,11 @@ func (g *Gateway) WakeAll() error {
 		for sa.Receiver().State() != core.StateUp {
 			if err := sa.Receiver().LastWakeError(); err != nil {
 				return fmt.Errorf("ipsec: gateway wake inbound %#x: %w", sa.SPI(), err)
+			}
+			// Same removed-while-waking check; the SAD lookup is O(1)
+			// under a shard read-lock, so no throttling is needed.
+			if cur, ok := g.sad.Lookup(sa.SPI()); !ok || cur != sa {
+				break
 			}
 			time.Sleep(50 * time.Microsecond)
 		}
@@ -415,17 +597,103 @@ func (g *Gateway) snapshot() gatewaySnapshot {
 	return snap
 }
 
+// retireCell permanently disposes of an SA's journal cell. Ordering is the
+// whole function: the caller has already stopped the endpoint (Reset), so
+// no new saves can start; the pool handle is then flushed, so every save
+// already queued lands first; only then is the key erased with a
+// group-committed tombstone (the "final flush" — Delete returns once the
+// tombstone is durable) and the claim released. Skipping the flush would
+// let a straggler save drain after the tombstone and resurrect the retired
+// counter — the exact bug class removal exists to prevent. As with
+// releaseCell, disposal only runs while this gateway still owns the claim;
+// a best-effort error from the tombstone append is returned for
+// observability but the claim is released regardless (the claim map, not
+// the tombstone, guards double registration in-process).
+func (g *Gateway) retireCell(key string) error {
+	g.mu.Lock()
+	owned := g.claimed[key]
+	saver := g.savers[key]
+	delete(g.claimed, key)
+	delete(g.savers, key)
+	g.mu.Unlock()
+	if !owned {
+		return nil
+	}
+	if saver != nil {
+		saver.Flush()
+	}
+	err := g.cfg.Journal.Delete(key)
+	// A WakeAll whose snapshot predates the removal can race this path: if
+	// its FETCH runs after the tombstone it fails safely (no saved state,
+	// the endpoint stays down), but one that fetched earlier can enqueue
+	// its post-wake save after the flush above. Each re-check flushes the
+	// handle again and re-erases anything that slipped in; the wake's
+	// startSave is synchronous with its fetch, so one extra round is the
+	// realistic worst case and the loop bound is just paranoia.
+	if saver != nil {
+		for i := 0; i < 8; i++ {
+			saver.Flush()
+			if _, ok, ferr := g.cfg.Journal.Cell(key).Fetch(); ferr != nil || !ok {
+				break
+			}
+			err = g.cfg.Journal.Delete(key)
+		}
+	}
+	g.cfg.Journal.ReleaseCell(key)
+	return err
+}
+
 // RemoveInbound tears down the inbound SA for spi: it is dropped from the
-// SAD and its journal cell claim is released, so the SPI can be
-// re-established (e.g. a rekey reusing the SPI) against the recovered
-// counter. Reports whether the SA existed. (Outbound SAs cannot be removed
-// — the SPD holds policies for their whole lifetime — but Close releases
-// every claim when the gateway goes away.)
+// SAD, its durable counter is erased from the journal (a group-committed
+// tombstone), and the cell claim is released. Reports whether the SA
+// existed. Re-establishing the same SPI later starts a fresh counter life —
+// a retired SA's window edge must not be resurrected for a new SA that
+// happens to reuse the SPI, since the new SA's sequence numbers restart
+// at 1 and would all fall below the old edge.
 func (g *Gateway) RemoveInbound(spi uint32) bool {
-	if !g.sad.Delete(spi) {
+	sa, ok := g.sad.Lookup(spi)
+	if !ok || !g.sad.Delete(spi) {
 		return false
 	}
-	g.releaseCell(InboundKey(spi))
+	// Stop the endpoint so no further admission can trigger a save, then
+	// retire the cell (flush queued saves, tombstone, release).
+	sa.BeginDrain()
+	sa.Receiver().Reset()
+	g.retireCell(InboundKey(spi)) //nolint:errcheck // claim released either way; tombstone errors are journal-poisoning events the next save surfaces
+	return true
+}
+
+// RemoveOutbound tears down the outbound SA for spi: its SPD entries are
+// removed, the SA is retired from new traffic (BeginDrain), its durable
+// counter is erased from the journal, and the cell claim is released.
+// Reports whether the SA existed. As with RemoveInbound, re-adding the same
+// SPI afterwards starts a fresh life. After a rekey cutover the SPD no
+// longer references the old SA, so the removal is purely the retirement of
+// its counter and claim.
+func (g *Gateway) RemoveOutbound(spi uint32) bool {
+	g.mu.Lock()
+	var sa *OutboundSA
+	kept := g.outbound[:0]
+	for _, o := range g.outbound {
+		if o.SPI() == spi && sa == nil {
+			sa = o
+			continue
+		}
+		kept = append(kept, o)
+	}
+	if sa == nil {
+		g.mu.Unlock()
+		return false
+	}
+	for i := len(kept); i < len(g.outbound); i++ {
+		g.outbound[i] = nil
+	}
+	g.outbound = kept
+	g.spd.Remove(spi)
+	g.mu.Unlock()
+	sa.BeginDrain()
+	sa.Sender().Reset() // stop the counter so no further save can start
+	g.retireCell(OutboundKey(spi)) //nolint:errcheck // see RemoveInbound
 	return true
 }
 

@@ -56,6 +56,10 @@ var (
 	ErrNoPolicy = errors.New("ipsec: no matching policy")
 	// ErrDuplicateSPI reports a gateway SA registration reusing a live SPI.
 	ErrDuplicateSPI = errors.New("ipsec: duplicate SPI")
+	// ErrDraining reports a Seal on an outbound SA that a rekey has already
+	// cut traffic away from: its successor owns the flow, and the old SA
+	// only lingers so in-flight packets can still be verified by the peer.
+	ErrDraining = errors.New("ipsec: outbound SA draining after rekey")
 )
 
 const (

@@ -68,6 +68,13 @@ type OutboundSA struct {
 	now  func() time.Duration
 	born time.Duration
 
+	// lineage: generation number within a rekey chain and the SPI of the
+	// predecessor generation (0 = first generation). Written once, by the
+	// gateway rekey path, before the SA is published.
+	generation uint64
+	prevSPI    uint32
+	draining   atomic.Bool
+
 	bytes   atomic.Uint64
 	packets atomic.Uint64
 }
@@ -94,6 +101,34 @@ func (o *OutboundSA) SPI() uint32 { return o.spi }
 
 // Sender exposes the underlying sequence-number sender (for reset/wake).
 func (o *OutboundSA) Sender() *core.Sender { return o.seq }
+
+// Generation returns the SA's position in its rekey chain (0 for an SA that
+// never rekeyed).
+func (o *OutboundSA) Generation() uint64 { return o.generation }
+
+// PrevSPI returns the SPI of the generation this SA replaced (0 = none).
+func (o *OutboundSA) PrevSPI() uint32 { return o.prevSPI }
+
+// setLineage records the rekey chain position; called by the gateway before
+// the SA is published.
+func (o *OutboundSA) setLineage(gen uint64, prev uint32) {
+	o.generation, o.prevSPI = gen, prev
+}
+
+// BeginDrain retires the SA from new traffic: every later Seal fails with
+// ErrDraining. The rekey cutover calls this on the old generation the
+// moment its successor owns the SPD entry, so a stale handle cannot keep
+// emitting packets the peer will soon stop accepting. Reversed only by
+// Gateway.RevertOutbound when a wider rollover fails before the peer cut
+// over.
+func (o *OutboundSA) BeginDrain() { o.draining.Store(true) }
+
+// endDrain returns the SA to service; only the gateway's rollback path
+// (RevertOutbound) may call it.
+func (o *OutboundSA) endDrain() { o.draining.Store(false) }
+
+// Draining reports whether BeginDrain has retired the SA.
+func (o *OutboundSA) Draining() bool { return o.draining.Load() }
 
 // reserve atomically checks the hard lifetime and accounts n wire bytes and
 // one packet in a single step, so that concurrent Seals cannot all pass a
@@ -143,9 +178,13 @@ func (o *OutboundSA) sealSeq(seq64 uint64, payload []byte) ([]byte, error) {
 
 // Seal encapsulates payload, assigning the next sequence number. It fails
 // with core.ErrDown / core.ErrWaking while the endpoint cannot send,
-// ErrHardExpired past the hard lifetime, and ErrSeqExhausted when a
-// non-ESN SA has consumed the whole 32-bit sequence space.
+// ErrHardExpired past the hard lifetime, ErrSeqExhausted when a non-ESN SA
+// has consumed the whole 32-bit sequence space, and ErrDraining once a
+// rekey has cut traffic over to the SA's successor.
 func (o *OutboundSA) Seal(payload []byte) ([]byte, error) {
+	if o.draining.Load() {
+		return nil, fmt.Errorf("%w: %#x", ErrDraining, o.spi)
+	}
 	wireLen := uint64(len(payload)) + Overhead
 	if err := o.reserve(wireLen); err != nil {
 		return nil, err
@@ -173,6 +212,9 @@ func (o *OutboundSA) Seal(payload []byte) ([]byte, error) {
 func (o *OutboundSA) SealBatch(payloads [][]byte) ([][]byte, error) {
 	if len(payloads) == 0 {
 		return nil, nil
+	}
+	if o.draining.Load() {
+		return nil, fmt.Errorf("%w: %#x", ErrDraining, o.spi)
 	}
 	var total uint64
 	for _, p := range payloads {
@@ -252,6 +294,14 @@ type InboundSA struct {
 	now    func() time.Duration
 	born   time.Duration
 
+	// lineage: see OutboundSA. An inbound SA keeps verifying while
+	// draining — the whole point of the drain window is that in-flight
+	// packets on the old SPI are still authenticated and admitted until
+	// the grace period retires the SA.
+	generation uint64
+	prevSPI    uint32
+	draining   atomic.Bool
+
 	bytes     atomic.Uint64
 	packets   atomic.Uint64
 	authFails atomic.Uint64
@@ -280,6 +330,29 @@ func (i *InboundSA) SPI() uint32 { return i.spi }
 
 // Receiver exposes the underlying anti-replay receiver (for reset/wake).
 func (i *InboundSA) Receiver() *core.Receiver { return i.replay }
+
+// Generation returns the SA's position in its rekey chain (0 for an SA that
+// never rekeyed).
+func (i *InboundSA) Generation() uint64 { return i.generation }
+
+// PrevSPI returns the SPI of the generation this SA replaced (0 = none).
+func (i *InboundSA) PrevSPI() uint32 { return i.prevSPI }
+
+// setLineage records the rekey chain position; called by the gateway before
+// the SA is published.
+func (i *InboundSA) setLineage(gen uint64, prev uint32) {
+	i.generation, i.prevSPI = gen, prev
+}
+
+// BeginDrain marks the SA as superseded by a rekey. Unlike the outbound
+// side, a draining inbound SA still verifies and admits traffic — in-flight
+// packets sealed under the old SPI before the cutover must not be dropped —
+// but the mark tells operators (and the rekey orchestrator's grace timer)
+// that the SA is due for removal. Irreversible.
+func (i *InboundSA) BeginDrain() { i.draining.Store(true) }
+
+// Draining reports whether BeginDrain has marked the SA.
+func (i *InboundSA) Draining() bool { return i.draining.Load() }
 
 // verifyOne parses, authenticates, and admits one packet without touching
 // the SA counters (callers account singly or per batch).

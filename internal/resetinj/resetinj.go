@@ -1,8 +1,23 @@
 // Package resetinj schedules machine resets and wake-ups against protocol
 // endpoints running on the simulation engine. It drives the fault scenarios
-// of the paper's §3 (single reset of p or q, double reset of both) and §4's
-// "second consideration" (a second reset striking before the first post-wake
-// SAVE completes).
+// of the paper's §3 (single reset of p or q, double reset of both), §4's
+// "second consideration" (a second reset striking before the first
+// post-wake SAVE completes), and the rekey experiment's reset-mid-exchange
+// scenario (a receiver gateway crashing between the two messages of a
+// CREATE_CHILD_SA rollover).
+//
+// The Endpoint interface is deliberately minimal — Reset and Wake — so any
+// crashable thing plugs in: a single core.Sender or core.Receiver, a
+// tunnel.Peer, or a whole ipsec.Gateway wrapped in a two-method adapter
+// (Reset -> ResetAll, Wake -> WakeAll; see the experiments package). The
+// three schedule shapes cover the paper's fault models: Schedule for one
+// reset/wake pair, ScheduleDouble for the back-to-back reset that tests the
+// post-wake SAVE's necessity, and SchedulePeriodic for sustained reset
+// storms (the convergence experiments' workload).
+//
+// All timing is virtual (netsim.Engine events), so a scheduled reset lands
+// at an exact, reproducible instant relative to traffic and handshake
+// messages — the precision the mid-exchange scenarios need.
 package resetinj
 
 import (

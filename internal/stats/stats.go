@@ -1,7 +1,16 @@
 // Package stats provides small statistical helpers used by the experiment
-// harness: sample summaries, online moments, histograms, and least-squares
-// linear regression (used to demonstrate the paper's "unbounded growth"
-// claims empirically).
+// harness: sample summaries (order statistics over accumulated
+// observations), online moments (Welford-style mean/variance without
+// retaining samples), fixed-width histograms, and least-squares linear
+// regression.
+//
+// The regression is what turns the paper's §3 "unbounded growth" claims
+// into measurements: the unbounded-baseline experiment fits the baseline
+// protocol's replay-acceptance and discard counts against traffic volume
+// and reports slope and R², so "grows linearly without bound" is a fitted
+// coefficient rather than a narrative. Everything is dependency-free and
+// deterministic — no internal randomness — because the experiment tables
+// must reproduce bit-for-bit from a seed.
 package stats
 
 import (

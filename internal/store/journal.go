@@ -15,18 +15,24 @@ import (
 // Journal file layout (big endian):
 //
 //	header:  4 bytes magic "ARJL" | 2 bytes version (1) | 2 bytes reserved
-//	record:  2 bytes key length n | 8 bytes value | n bytes key |
+//	record:  2 bytes flags|key length | 8 bytes value | key |
 //	         4 bytes CRC-32 (IEEE) of the preceding 10+n bytes
 //
-// Records only ever append; the current value of a key is the maximum over
-// all of its records (values are monotone counters, so max == latest-valid).
-// A reset that tears the last record leaves every earlier record intact —
-// exactly the persistent-memory property the paper assumes of SAVE.
+// The top bit of the length field marks a tombstone (the key's counter has
+// been retired — an SA removed or rekeyed away); the low 15 bits are the key
+// length n. Records only ever append and are replayed in order: within one
+// key life the values are monotone counters, so the live value is the
+// maximum since the key's last tombstone, and a tombstone erases the key so
+// a later record starts a fresh life (a re-established SPI must not resume
+// the retired SA's counter). A reset that tears the last record leaves
+// every earlier record intact — exactly the persistent-memory property the
+// paper assumes of SAVE.
 const (
 	journalMagic     = "ARJL"
 	journalVersion   = 1
 	journalHeaderLen = 8
-	journalMaxKey    = 1<<16 - 1
+	journalTombstone = 1 << 15
+	journalMaxKey    = journalTombstone - 1
 )
 
 // DefaultCompactAt is the log size, in bytes, at which a Journal compacts
@@ -39,12 +45,15 @@ const DefaultCompactAt = 1 << 20
 //
 // Save appends a (key, value) record and group-commits: one fsync makes
 // every record appended since the previous fsync durable, so concurrent
-// SAVEs across SAs share the sync cost. Recovery (OpenJournal) replays the
-// log, keeps the maximum value per key, tolerates a torn tail (the record a
+// SAVEs across SAs share the sync cost. Delete appends a tombstone the same
+// way, retiring a key when its SA is removed or rekeyed away. Recovery
+// (OpenJournal) replays the log in order — keeping the maximum value per
+// key since the key's last tombstone — tolerates a torn tail (the record a
 // reset interrupted fails its CRC and is discarded), and truncates the tail
 // away so appends resume from a clean frame. When the log outgrows a
-// threshold it is compacted to one record per key via the same
-// write-temp + fsync + rename + dir-fsync dance File uses.
+// threshold it is compacted to one record per live key (tombstoned keys
+// vanish) via the same write-temp + fsync + rename + dir-fsync dance File
+// uses.
 //
 // Cell projects one key as a store.Store, so core.Sender / core.Receiver
 // run unchanged over a shared journal; the paper's per-key guarantees (2K
@@ -200,7 +209,7 @@ func (j *Journal) recover() error {
 				for probe := off + 1; probe+minRecordLen <= len(data) && budget > 0; probe++ {
 					// The CRC only runs over complete frames; bill their
 					// declared length against the budget.
-					n2 := int(binary.BigEndian.Uint16(data[probe : probe+2]))
+					n2 := int(binary.BigEndian.Uint16(data[probe:probe+2]) &^ journalTombstone)
 					if probe+2+8+n2+4 > len(data) {
 						continue // incomplete frame: no CRC computed
 					}
@@ -212,7 +221,12 @@ func (j *Journal) recover() error {
 			}
 			break // torn tail: truncate from off
 		}
-		if cur, seen := j.vals[rec.key]; !seen || rec.v > cur {
+		if rec.del {
+			if _, seen := j.vals[rec.key]; seen {
+				j.snapSize -= frameLen(rec.key)
+				delete(j.vals, rec.key)
+			}
+		} else if cur, seen := j.vals[rec.key]; !seen || rec.v > cur {
 			if !seen {
 				j.snapSize += int64(n)
 			}
@@ -282,11 +296,17 @@ func (j *Journal) create() error {
 type journalRecord struct {
 	key string
 	v   uint64
+	del bool
 }
 
 // minRecordLen is the size of a frame with an empty key (which save()
 // rejects, so every real frame is larger).
 const minRecordLen = 2 + 8 + 4
+
+// frameLen is the encoded size of a (non-tombstone) frame for key; every
+// save record of one key has the same size, which keeps the snapshot-size
+// accounting exact across deletes.
+func frameLen(key string) int64 { return int64(2 + 8 + len(key) + 4) }
 
 // parseRecord decodes one frame from b, returning the record, its encoded
 // length, and whether the frame was complete and CRC-valid.
@@ -294,7 +314,8 @@ func parseRecord(b []byte) (journalRecord, int, bool) {
 	if len(b) < minRecordLen {
 		return journalRecord{}, 0, false
 	}
-	n := int(binary.BigEndian.Uint16(b[0:2]))
+	lf := binary.BigEndian.Uint16(b[0:2])
+	n := int(lf &^ journalTombstone)
 	total := 2 + 8 + n + 4
 	if len(b) < total {
 		return journalRecord{}, 0, false
@@ -307,12 +328,17 @@ func parseRecord(b []byte) (journalRecord, int, bool) {
 	return journalRecord{
 		key: string(b[10 : 10+n]),
 		v:   binary.BigEndian.Uint64(b[2:10]),
+		del: lf&journalTombstone != 0,
 	}, total, true
 }
 
-func appendRecord(buf []byte, key string, v uint64) []byte {
+func appendRecord(buf []byte, key string, v uint64, del bool) []byte {
 	start := len(buf)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	lf := uint16(len(key))
+	if del {
+		lf |= journalTombstone
+	}
+	buf = binary.BigEndian.AppendUint16(buf, lf)
 	buf = binary.BigEndian.AppendUint64(buf, v)
 	buf = append(buf, key...)
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
@@ -320,11 +346,20 @@ func appendRecord(buf []byte, key string, v uint64) []byte {
 
 // save appends a record for key and waits until it is durable (or, without
 // sync, until it is written). Many concurrent saves share one fsync.
-func (j *Journal) save(key string, v uint64) error {
+func (j *Journal) save(key string, v uint64) error { return j.append(key, v, false) }
+
+// delete appends a tombstone for key and waits until it is durable, erasing
+// the key from the recovered state: a later save under the same key starts a
+// fresh counter life, and the next compaction drops the key entirely.
+// Deleting a key with no durable state is a no-op.
+func (j *Journal) delete(key string) error { return j.append(key, 0, true) }
+
+// append is the shared save/tombstone path; see save and delete.
+func (j *Journal) append(key string, v uint64, del bool) error {
 	if len(key) == 0 || len(key) > journalMaxKey {
 		return fmt.Errorf("%w: length %d", ErrBadKey, len(key))
 	}
-	rec := appendRecord(nil, key, v)
+	rec := appendRecord(nil, key, v, del)
 
 	j.mu.Lock()
 	if j.closed {
@@ -335,6 +370,12 @@ func (j *Journal) save(key string, v uint64) error {
 		err := j.ioErr
 		j.mu.Unlock()
 		return err
+	}
+	if del {
+		if _, seen := j.vals[key]; !seen {
+			j.mu.Unlock()
+			return nil // nothing durable to erase
+		}
 	}
 	if _, err := j.f.Write(rec); err != nil {
 		// A partial append leaves a torn frame; recovery discards it, but
@@ -347,7 +388,10 @@ func (j *Journal) save(key string, v uint64) error {
 	}
 	j.appends++
 	j.logSize += int64(len(rec))
-	if cur, seen := j.vals[key]; !seen || v > cur {
+	if del {
+		j.snapSize -= frameLen(key)
+		delete(j.vals, key)
+	} else if cur, seen := j.vals[key]; !seen || v > cur {
 		if !seen {
 			j.snapSize += int64(len(rec))
 		}
@@ -469,7 +513,7 @@ func (j *Journal) compactLocked() error {
 	buf = binary.BigEndian.AppendUint16(buf, journalVersion)
 	buf = append(buf, 0, 0)
 	for key, v := range j.vals {
-		buf = appendRecord(buf, key, v)
+		buf = appendRecord(buf, key, v, false)
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		return fail("write", err)
@@ -562,6 +606,15 @@ func (j *Journal) ReleaseCell(key string) {
 	delete(j.claims, key)
 }
 
+// Delete durably retires key: a tombstone record is appended and
+// group-committed, the key disappears from fetches and from the next
+// compaction, and a later save under the same key starts a fresh counter
+// life. This is the disposal half of an SA's journal cell — a removed or
+// rekeyed-away SA must not leave a counter behind for a re-established SPI
+// to resurrect. Deleting a key with no durable state is a no-op; any
+// in-process claim on the key is untouched (release it separately).
+func (j *Journal) Delete(key string) error { return j.delete(key) }
+
 // Cell is one key of a Journal, seen through the Store interface.
 type Cell struct {
 	j   *Journal
@@ -575,6 +628,9 @@ func (c *Cell) Save(v uint64) error { return c.j.save(c.key, v) }
 
 // Fetch returns the cell's recovered or last saved value.
 func (c *Cell) Fetch() (uint64, bool, error) { return c.j.fetch(c.key) }
+
+// Delete durably retires the cell's key; see Journal.Delete.
+func (c *Cell) Delete() error { return c.j.delete(c.key) }
 
 // Key returns the cell's journal key.
 func (c *Cell) Key() string { return c.key }

@@ -509,3 +509,126 @@ func TestJournalWithoutSync(t *testing.T) {
 		t.Errorf("Fetch = (%d, %v), want (4, true)", v, ok)
 	}
 }
+
+func TestJournalDeleteErasesKey(t *testing.T) {
+	j := journalAt(t)
+	defer j.Close()
+	c := j.Cell("rx/1")
+	if err := c.Save(500); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := c.Delete(); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok, err := c.Fetch(); err != nil || ok {
+		t.Errorf("Fetch after Delete = (ok=%v, err=%v), want (false, nil)", ok, err)
+	}
+	if j.Keys() != 0 {
+		t.Errorf("Keys after Delete = %d, want 0", j.Keys())
+	}
+	// A fresh life under the same key must not see the old counter.
+	if err := c.Save(1); err != nil {
+		t.Fatalf("Save after Delete: %v", err)
+	}
+	got, ok, err := c.Fetch()
+	if err != nil || !ok || got != 1 {
+		t.Errorf("Fetch of fresh life = (%d, %v, %v), want (1, true, nil)", got, ok, err)
+	}
+}
+
+func TestJournalDeleteSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sa.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Cell("tx/old").Save(4096); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := j.Cell("tx/live").Save(77); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := j.Delete("tx/old"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if _, ok, _ := j2.Cell("tx/old").Fetch(); ok {
+		t.Error("deleted key resurrected after reopen")
+	}
+	got, ok, err := j2.Cell("tx/live").Fetch()
+	if err != nil || !ok || got != 77 {
+		t.Errorf("live key after reopen = (%d, %v, %v), want (77, true, nil)", got, ok, err)
+	}
+	// Delete-then-save sequences replay in order: the post-tombstone life
+	// wins even though its values are smaller than the retired life's.
+	if err := j2.Cell("tx/old").Save(3); err != nil {
+		t.Fatalf("Save fresh life: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer j3.Close()
+	got, ok, err = j3.Cell("tx/old").Fetch()
+	if err != nil || !ok || got != 3 {
+		t.Errorf("fresh life after reopen = (%d, %v, %v), want (3, true, nil)", got, ok, err)
+	}
+}
+
+func TestJournalCompactionDropsDeletedKeys(t *testing.T) {
+	// Compaction threshold low enough that the retired keys' records would
+	// dominate the snapshot if tombstones failed to erase them.
+	j := journalAt(t, JournalCompactAt(1024))
+	defer j.Close()
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("rx/%08x", i)
+		if err := j.Cell(key).Save(uint64(100 + i)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		if i%2 == 0 {
+			if err := j.Delete(key); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+		}
+	}
+	// Push the log past the threshold so a compaction runs.
+	for i := 0; i < 64; i++ {
+		if err := j.Cell("rx/keep").Save(uint64(i + 1)); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	if j.Compactions() == 0 {
+		t.Fatal("no compaction ran; lower the threshold")
+	}
+	if got, want := j.Keys(), 16+1; got != want {
+		t.Errorf("Keys after compaction = %d, want %d", got, want)
+	}
+	for i := 0; i < 32; i += 2 {
+		if _, ok, _ := j.Cell(fmt.Sprintf("rx/%08x", i)).Fetch(); ok {
+			t.Errorf("deleted key rx/%08x survived compaction", i)
+		}
+	}
+}
+
+func TestJournalDeleteUnknownKeyNoOp(t *testing.T) {
+	j := journalAt(t)
+	defer j.Close()
+	before := j.Appends()
+	if err := j.Delete("never/saved"); err != nil {
+		t.Fatalf("Delete unknown: %v", err)
+	}
+	if j.Appends() != before {
+		t.Error("deleting an unknown key appended a record")
+	}
+}

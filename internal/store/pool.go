@@ -41,7 +41,9 @@ func NewSaverPool(workers int) *SaverPool {
 // Saver returns a BackgroundSaver-compatible handle persisting to st
 // through the pool.
 func (p *SaverPool) Saver(st Store) *PoolSaver {
-	return &PoolSaver{pool: p, st: st}
+	s := &PoolSaver{pool: p, st: st}
+	s.idle = sync.NewCond(&s.mu)
+	return s
 }
 
 // PoolSaver queues saves for one store onto its pool. It satisfies
@@ -51,6 +53,7 @@ type PoolSaver struct {
 	st   Store
 
 	mu      sync.Mutex
+	idle    *sync.Cond // broadcast when active clears (Flush waiters)
 	pending []pendingSave
 	active  bool // enqueued on the pool or being drained by a worker
 }
@@ -79,12 +82,27 @@ func (s *PoolSaver) StartSave(v uint64, done func(error)) {
 	s.pool.mu.Unlock()
 }
 
+// Flush blocks until the handle is quiescent: every save queued before the
+// call has been persisted (or failed) and no worker is draining it. It is
+// the removal path's barrier — a caller that has stopped producing new
+// saves (e.g. by resetting the endpoint) flushes before tombstoning the
+// store, so no stale counter can land after the tombstone and resurrect a
+// retired key. With producers still active, Flush may wait indefinitely.
+func (s *PoolSaver) Flush() {
+	s.mu.Lock()
+	for s.active || len(s.pending) > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
 // fail drains the handle's pending saves with err, without a worker.
 func (s *PoolSaver) fail(err error) {
 	s.mu.Lock()
 	batch := s.pending
 	s.pending = nil
 	s.active = false
+	s.idle.Broadcast()
 	s.mu.Unlock()
 	for _, ps := range batch {
 		if ps.done != nil {
@@ -101,6 +119,7 @@ func (s *PoolSaver) drain() {
 		s.mu.Lock()
 		if len(s.pending) == 0 {
 			s.active = false
+			s.idle.Broadcast()
 			s.mu.Unlock()
 			return
 		}

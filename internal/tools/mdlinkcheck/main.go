@@ -1,0 +1,32 @@
+// Command mdlinkcheck is the CI docs gate's entry point: it checks the
+// given markdown files for references to files that do not exist and exits
+// non-zero on the first finding.
+//
+//	go run ./internal/tools/mdlinkcheck README.md DESIGN.md CHANGES.md
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"antireplay/internal/doccheck"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken, err := doccheck.Check(os.Args[1:]...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("mdlinkcheck: %d files clean\n", len(os.Args)-1)
+}

@@ -8,7 +8,19 @@
 // violation the paper's protocol is designed to keep at zero.
 //
 // All types are safe for concurrent use. A nil *Collector and a nil *Matrix
-// are valid no-op recorders, so instrumented code never needs nil checks.
+// are valid no-op recorders, so instrumented code never needs nil checks —
+// core.Sender and core.Receiver record unconditionally and production
+// configurations simply leave Trace nil.
+//
+// Event kinds mirror the paper's protocol actions (send, deliver, the
+// discard taxonomy, reset/wake, SAVE start/done/error, FETCH), so a
+// collector's ring of recent events reads as an execution trace of the §4
+// pseudocode; tests assert on counters per kind rather than parsing logs.
+// The Matrix's four cells close the loop with the adversary package: truth
+// (fresh vs. replayed transmission) comes from the harness, verdict
+// (delivered vs. discarded) from the receiver, and the protocol's safety
+// claim is exactly "the replay/delivered cell stays zero" while its
+// liveness claim bounds the fresh/discarded cell.
 package trace
 
 import (
