@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	benchtables [-only id[,id...]] [-fast] [-outdir dir]
+//	benchtables [-only id[,id...]] [-fast] [-outdir dir] [-json file]
 //
-// Without -outdir the tables print to stdout only.
+// Without -outdir the tables print to stdout only. With -json the run also
+// writes a machine-readable results file (every table as structured rows,
+// plus derived headline metrics: replication throughput, failover blackout
+// time, the datapath numbers) — the format CI archives per PR to build a
+// performance trajectory over time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +24,28 @@ import (
 	"antireplay/internal/experiments"
 )
 
+// jsonResults is the -json output shape. Metrics keys are stable strings;
+// values are numbers where possible (strings for durations as printed).
+type jsonResults struct {
+	GeneratedBy string            `json:"generated_by"`
+	Fast        bool              `json:"fast"`
+	Experiments []jsonTable       `json:"experiments"`
+	Metrics     map[string]any    `json:"metrics"`
+	Notes       map[string]string `json:"notes,omitempty"`
+}
+
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	fast := flag.Bool("fast", false, "cheaper parameterizations (same shapes)")
 	outdir := flag.String("outdir", "", "also write <id>.txt and <id>.csv here")
+	jsonPath := flag.String("json", "", "write machine-readable results (tables + derived metrics) here")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -55,6 +78,7 @@ func main() {
 	}
 
 	failed := false
+	var tables []*experiments.Table
 	for _, r := range runners {
 		fmt.Printf("# %s — %s\n", r.ID, r.Paper)
 		tbl, err := r.Run(*fast)
@@ -63,6 +87,7 @@ func main() {
 			failed = true
 			continue
 		}
+		tables = append(tables, tbl)
 		if err := tbl.Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", r.ID, err)
 			failed = true
@@ -75,9 +100,80 @@ func main() {
 			}
 		}
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *fast, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: json: %v\n", err)
+			failed = true
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits the machine-readable results file: every table verbatim
+// plus derived headline metrics. The replication-throughput micro-benchmark
+// always runs (it is cheap and self-contained); table-derived metrics are
+// included when their experiment was part of the run.
+func writeJSON(path string, fast bool, tables []*experiments.Table) error {
+	out := jsonResults{
+		GeneratedBy: "benchtables",
+		Fast:        fast,
+		Metrics:     map[string]any{},
+		Notes: map[string]string{
+			"replication_records_per_sec": "save-to-ack throughput of the journal replication pipeline (8 concurrent producers, sync follower)",
+			"failover_blackout":           "virtual time from primary crash to DPD-confirmed resurrection of the promoted standby, per loss rate",
+		},
+	}
+	records := 100000
+	if fast {
+		records = 20000
+	}
+	if rps, err := experiments.ReplicationThroughput(records, 8); err == nil {
+		out.Metrics["replication_records_per_sec"] = int64(rps)
+	} else {
+		// Never discard the run's tables over one failed micro-benchmark;
+		// record the failure where a trajectory consumer will see it.
+		out.Notes["replication_records_per_sec_error"] = err.Error()
+	}
+	for _, tbl := range tables {
+		out.Experiments = append(out.Experiments, jsonTable{
+			ID: tbl.ID, Title: tbl.Title, Columns: tbl.Columns, Rows: tbl.Rows,
+		})
+		switch tbl.ID {
+		case "failover":
+			out.Metrics["failover_blackout"] = columnByLoss(tbl, "blackout")
+			out.Metrics["failover_false_rejects"] = columnByLoss(tbl, "false_rejects")
+			out.Metrics["failover_replay_accepts"] = columnByLoss(tbl, "replay_accepts")
+		case "datapath":
+			out.Metrics["datapath"] = tbl.Rows
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// columnByLoss maps a table's first column (the sweep key) to the named
+// column's cells, so JSON consumers need no positional knowledge.
+func columnByLoss(tbl *experiments.Table, name string) map[string]string {
+	idx := -1
+	for i, c := range tbl.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	out := make(map[string]string, len(tbl.Rows))
+	if idx < 0 {
+		return out
+	}
+	for _, row := range tbl.Rows {
+		out[row[0]] = row[idx]
+	}
+	return out
 }
 
 func writeTable(tbl *experiments.Table, dir string) error {

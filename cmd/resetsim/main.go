@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"antireplay/internal/cluster"
 	"antireplay/internal/core"
 	"antireplay/internal/experiments"
 	"antireplay/internal/ike"
@@ -56,9 +57,21 @@ func main() {
 		replay   = flag.Bool("replay", false, "adversary replays the full history after the receiver wake-up")
 		leap     = flag.Float64("leap", 0, "leap factor override (0 = paper's 2)")
 		rekeyN   = flag.Uint64("rekey-every", 0, "roll the SA over every n delivered packets on a gateway pair (0 = plain flow mode)")
+		failN    = flag.Uint64("failover-every", 0, "crash the receiver gateway and promote its cluster standby every n delivered packets (0 = no cluster)")
 	)
 	flag.Parse()
 
+	if *rekeyN > 0 && *failN > 0 {
+		fmt.Fprintln(os.Stderr, "resetsim: -rekey-every and -failover-every are separate modes")
+		os.Exit(2)
+	}
+	if *failN > 0 {
+		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w); err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *rekeyN > 0 {
 		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
@@ -132,6 +145,191 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resetsim: SAFETY VIOLATION under the resilient protocol")
 		os.Exit(1)
 	}
+}
+
+// runFailoverSim is the -failover-every mode: the receiver side is an HA
+// cluster — a primary gateway whose journal replicates synchronously to a
+// standby — and every n delivered packets the primary "crashes": its
+// volatile state is lost, the standby performs the epoch-fenced takeover
+// (waking every SA from the replicated counters), and the dead node reboots
+// into the next standby, so successive failovers alternate nodes and
+// exercise failback. The sender keeps transmitting throughout; the run
+// reports per-failover replication lag, the post-takeover false-reject
+// window, and — the §3 safety claim under failover — that replaying the
+// entire history re-delivers nothing.
+func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int) error {
+	dir, err := os.MkdirTemp("", "resetsim-failover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	openJ := func(name string) (*store.Journal, error) {
+		return store.OpenJournal(filepath.Join(dir, name+".log"))
+	}
+
+	jA, err := openJ("sender")
+	if err != nil {
+		return err
+	}
+	defer jA.Close()
+	A, err := ipsec.NewGateway(ipsec.GatewayConfig{Journal: jA, K: k, W: w})
+	if err != nil {
+		return err
+	}
+	defer A.Close()
+	jB, err := openJ("node-a")
+	if err != nil {
+		return err
+	}
+	B, err := ipsec.NewGateway(ipsec.GatewayConfig{Journal: jB, K: k, W: w})
+	if err != nil {
+		jB.Close()
+		return err
+	}
+	nodePaths := map[*store.Journal]string{jB: filepath.Join(dir, "node-a.log")}
+
+	rng := rand.New(rand.NewSource(seed))
+	res, err := ike.Establish(ike.Config{PSK: []byte("resetsim"), ID: "gw-a",
+		Rand: rand.New(rand.NewSource(rng.Int63()))},
+		ike.Config{PSK: []byte("resetsim"), ID: "gw-b",
+			Rand: rand.New(rand.NewSource(rng.Int63()))})
+	if err != nil {
+		return err
+	}
+	keys := res.Keys
+	srcA := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	dstB := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	selAB := ipsec.Selector{Src: netip.PrefixFrom(srcA, 32), Dst: netip.PrefixFrom(dstB, 32)}
+	if _, err := A.AddOutbound(keys.SPIInitToResp, keys.InitToResp, selAB); err != nil {
+		return err
+	}
+	if _, err := B.AddInbound(keys.SPIInitToResp, keys.InitToResp); err != nil {
+		return err
+	}
+
+	jS, err := openJ("node-b")
+	if err != nil {
+		return err
+	}
+	nodePaths[jS] = filepath.Join(dir, "node-b.log")
+	standby, err := cluster.NewStandby(cluster.Config{Source: jB, Journal: jS, K: k, W: w})
+	if err != nil {
+		jS.Close()
+		return err
+	}
+	if err := standby.Start(); err != nil {
+		return err
+	}
+	if err := standby.Mirror(B.Snapshot()); err != nil {
+		return err
+	}
+	journals := []*store.Journal{jB, jS}
+	defer func() {
+		for _, j := range journals {
+			j.Close()
+		}
+	}()
+
+	var (
+		delivered, sacrificed, lost uint64
+		failovers                   int
+		sinceFailover               uint64
+		history                     [][]byte
+		seen                        = make(map[string]bool)
+	)
+	rxKey := ipsec.InboundKey(keys.SPIInitToResp)
+	for i := uint64(0); i < msgs; i++ {
+		var wire []byte
+		for {
+			wire, err = A.Seal(srcA, dstB, []byte("resetsim payload"))
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, core.ErrSaveLag) {
+				return err
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		history = append(history, wire)
+		if rng.Float64() < loss {
+			lost++
+			continue
+		}
+		for {
+			_, verdict, err := B.Open(wire)
+			if err != nil {
+				return err
+			}
+			if verdict == core.VerdictHorizon {
+				time.Sleep(20 * time.Microsecond)
+				continue
+			}
+			if verdict.Delivered() {
+				delivered++
+				sinceFailover++
+				seen[string(wire)] = true
+			} else {
+				sacrificed++
+			}
+			break
+		}
+		if sinceFailover < failEvery {
+			continue
+		}
+		sinceFailover = 0
+		failovers++
+		lagRecords := standby.Stats().LagRecords
+		lagValues := standby.LagValues()
+		edge, _, _ := B.Journal().Cell(rxKey).Fetch()
+		B.ResetAll() // the crash: volatile counters lost, journal survives
+		gw2, epoch, err := standby.Takeover()
+		if err != nil {
+			return err
+		}
+		wakeEdge, _, _ := gw2.Journal().Cell(rxKey).Fetch()
+		fmt.Printf("delivered=%d  failover %d: epoch %d, lag %d records / %d values, rx horizon %d -> %d\n",
+			delivered, failovers, epoch, lagRecords, lagValues, edge, wakeEdge)
+
+		// The dead node reboots into the next standby (failback roles).
+		deadJournal := B.Journal()
+		deadPath := nodePaths[deadJournal]
+		B.Close()
+		deadJournal.Close()
+		reborn, err := store.OpenJournal(deadPath)
+		if err != nil {
+			return err
+		}
+		nodePaths[reborn] = deadPath
+		journals = append(journals, reborn)
+		standby, err = cluster.NewStandby(cluster.Config{Source: gw2.Journal(), Journal: reborn, K: k, W: w})
+		if err != nil {
+			return err
+		}
+		if err := standby.Start(); err != nil {
+			return err
+		}
+		if err := standby.Mirror(gw2.Snapshot()); err != nil {
+			return err
+		}
+		B = gw2
+	}
+	defer standby.Stop()
+
+	// Adversary: replay the entire recorded history at the final primary.
+	replays := 0
+	for _, wire := range history {
+		_, verdict, _ := B.Open(wire)
+		if verdict.Delivered() && seen[string(wire)] {
+			replays++
+		}
+	}
+	fmt.Printf("\nsent=%d delivered=%d lost=%d sacrificed=%d failovers=%d\n",
+		msgs, delivered, lost, sacrificed, failovers)
+	fmt.Printf("replayed full history: %d re-accepted (MUST be 0)\n", replays)
+	if replays > 0 {
+		return fmt.Errorf("SAFETY VIOLATION: %d replays accepted across failovers", replays)
+	}
+	return nil
 }
 
 // runRekeySim is the -rekey-every mode: a journal-backed gateway pair whose

@@ -73,6 +73,17 @@
 // removes the assumption by never delivering at or beyond committed+leap,
 // making the no-duplicate-delivery guarantee unconditional.
 //
+// For high availability a Standby replicates a gateway's Journal into a
+// follower journal (snapshot-then-tail over the committed record stream,
+// registered as the journal's sync follower so replication joins fsync in
+// the durability contract) and keeps a warm, down-state image of the SA
+// population (Gateway.Snapshot / Standby.Mirror). Standby.Takeover is the
+// epoch-fenced promotion: fence the deposed journal, drain the stream,
+// durably bump the cluster epoch, and wake every SA from its replicated
+// counter — the paper's wake-up, pointed at the replica, so the no-reuse
+// and no-replay guarantees carry over to failover verbatim (see README.md,
+// "High availability").
+//
 // Everything is deterministic under the simulation engine (Engine,
 // SimSaver) used by the experiment harness that regenerates the paper's
 // figures; see README.md and the experiments package in the repository.

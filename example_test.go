@@ -189,6 +189,66 @@ func ExampleGateway_RekeyOutbound() {
 	// old generation refuses new seals: true
 }
 
+// A two-node cluster: the standby replicates the primary's journal (as its
+// sync follower), mirrors the SA population as a warm down-state image, and
+// promotion is the paper's wake-up against the replica — the deposed
+// journal is fenced and the epoch durably bumped.
+func ExampleNewStandby() {
+	dir, _ := os.MkdirTemp("", "example-*")
+	defer os.RemoveAll(dir)
+	primary, err := exampleGateway(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { primary.Close(); primary.Journal().Close() }()
+
+	keys := antireplay.KeyMaterial{AuthKey: make([]byte, antireplay.AuthKeySize)}
+	if _, err := primary.AddInbound(0x2001, keys); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	follower, err := antireplay.NewJournal(filepath.Join(dir, "standby.journal"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer follower.Close()
+	standby, err := antireplay.NewStandby(antireplay.StandbyConfig{
+		Source:  primary.Journal(),
+		Journal: follower,
+		K:       25,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer standby.Stop()
+	if err := standby.Start(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := standby.Mirror(primary.Snapshot()); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	primary.ResetAll() // the crash: volatile counters lost
+	promoted, epoch, err := standby.Takeover()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, adopted := promoted.SAD().Lookup(0x2001)
+	fmt.Printf("promoted at epoch %d, SA population adopted: %v\n", epoch, adopted)
+	fmt.Printf("deposed journal fenced: %v\n",
+		errors.Is(primary.Journal().Fenced(), antireplay.ErrFenced))
+	// Output:
+	// promoted at epoch 1, SA population adopted: true
+	// deposed journal fenced: true
+}
+
 // A bidirectional host pair with automatic reset recovery.
 func ExampleNewPeerPair() {
 	var delivered []string

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"antireplay/internal/ike"
+	"antireplay/internal/ipsec"
+	"antireplay/internal/rekey"
+)
+
+// TestRekeyHandoffSurvivesPromotion drives the rekey orchestrator through a
+// failover: a rollover's exchange is interrupted by the primary's crash
+// (the in-flight rollover), the standby is promoted, the orchestrator is
+// handed the promoted gateway, and the retried rollover completes against
+// it — including retirement, whose tombstones land in the promoted node's
+// journal.
+func TestRekeyHandoffSurvivesPromotion(t *testing.T) {
+	h := newHAPair(t)
+
+	// A deterministic key-material exchange: each rollover yields fresh
+	// SPIs and keys. crashOnce makes the first exchange die mid-flight —
+	// the moment the primary is lost.
+	nextSPI := uint32(0x1000)
+	crashOnce := true
+	var current *ipsec.Gateway = h.B
+	exchange := func(oldAB, oldBA uint32) (ike.ChildKeys, error) {
+		if crashOnce {
+			crashOnce = false
+			current.ResetAll() // the crash strikes mid-exchange
+			return ike.ChildKeys{}, errors.New("exchange interrupted by primary crash")
+		}
+		ab, ba := nextSPI, nextSPI+1
+		nextSPI += 2
+		return ike.ChildKeys{
+			SPIInitToResp: ab, SPIRespToInit: ba,
+			InitToResp: testKeys(byte(ab)), RespToInit: testKeys(byte(ba)),
+		}, nil
+	}
+
+	o, err := rekey.New(rekey.Config{A: h.A, B: h.B, Exchange: exchange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun, err := o.Track(h.abSPI, h.baSPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic so the counters are real, then the interrupted rollover.
+	for i := 0; i < 60; i++ {
+		w := sealRetry(t, h.A, testAddr(0), testAddr(1), []byte(fmt.Sprintf("pre %d", i)))
+		openRetry(t, h.B, w)
+	}
+	if err := o.Rollover(tun); err == nil {
+		t.Fatal("interrupted rollover reported success")
+	}
+	if tun.State() != rekey.StateSteady {
+		t.Fatalf("tunnel state after interrupted rollover = %v, want steady", tun.State())
+	}
+
+	// Promote the standby and hand the orchestrator the new gateway.
+	gw2, _, err := h.standby.Takeover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	current = gw2
+	if err := o.Handoff(gw2, gw2); !errors.Is(err, rekey.ErrUnknownGateway) {
+		t.Fatalf("handoff of a foreign gateway = %v, want ErrUnknownGateway", err)
+	}
+	if err := o.Handoff(h.B, gw2); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+
+	// The retried rollover now runs against the promoted gateway: make
+	// (install successor inbound on gw2 and A), break (cut both outbound
+	// sides), drain.
+	if err := o.Rollover(tun); err != nil {
+		t.Fatalf("rollover after handoff: %v", err)
+	}
+	if tun.State() != rekey.StateDraining {
+		t.Fatalf("tunnel state after rollover = %v, want draining", tun.State())
+	}
+	newAB, newBA := tun.SPIs()
+
+	// Traffic flows on the successor generation through the promoted pair.
+	for i := 0; i < 40; i++ {
+		w := sealRetry(t, h.A, testAddr(0), testAddr(1), []byte(fmt.Sprintf("post %d", i)))
+		if v := openRetry(t, gw2, w); !v.Delivered() && i > 30 {
+			t.Fatalf("successor traffic not delivering after handoff: %v", v)
+		}
+		back := sealRetry(t, gw2, testAddr(1), testAddr(0), []byte(fmt.Sprintf("echo %d", i)))
+		openRetry(t, h.A, back)
+	}
+	if spi, err := wireSPI(t, h.A, gw2); err == nil && spi != newAB {
+		t.Errorf("A seals on SPI %#x after cutover, want successor %#x", spi, newAB)
+	}
+
+	// Retirement (Grace 0: first Poll) must address the promoted gateway —
+	// the old generation's cells are tombstoned in the FOLLOWER journal.
+	if err := o.Poll(); err != nil {
+		t.Fatalf("retiring poll: %v", err)
+	}
+	if tun.State() != rekey.StateSteady {
+		t.Fatalf("tunnel state after retirement = %v, want steady", tun.State())
+	}
+	if _, ok, _ := h.jS.Cell(ipsec.InboundKey(h.abSPI)).Fetch(); ok {
+		t.Error("retired inbound cell survives in the promoted journal")
+	}
+	if _, ok, _ := h.jS.Cell(ipsec.OutboundKey(h.baSPI)).Fetch(); ok {
+		t.Error("retired outbound cell survives in the promoted journal")
+	}
+	if _, ok := gw2.SAD().Lookup(h.abSPI); ok {
+		t.Error("retired inbound SA still registered on the promoted gateway")
+	}
+	if _, ok := gw2.Outbound(newBA); !ok {
+		t.Error("successor outbound SA missing on the promoted gateway")
+	}
+}
+
+// wireSPI reports which SPI A currently seals on toward gw.
+func wireSPI(t *testing.T, a, gw *ipsec.Gateway) (uint32, error) {
+	t.Helper()
+	w := sealRetry(t, a, testAddr(0), testAddr(1), []byte("probe"))
+	openRetry(t, gw, w)
+	return ipsec.ParseSPI(w)
+}

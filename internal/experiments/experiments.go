@@ -202,6 +202,15 @@ func All() []Runner {
 			}
 			return RekeyRollover(cfg)
 		}},
+		{ID: "failover", Paper: "extension: HA failover as the paper's reset (epoch-fenced takeover)", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultFailoverConfig()
+			if fast {
+				cfg.Tunnels = 2
+				cfg.PacketsPerPhase = 80
+				cfg.LossProbs = []float64{0, 0.25}
+			}
+			return Failover(cfg)
+		}},
 	}
 }
 

@@ -469,7 +469,8 @@ func TestLossJumpHorizonCliff(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "unbounded", "sizing", "convsender",
 		"convreceiver", "recovery", "prolonged", "doublereset", "leap",
-		"delivery", "overhead", "horizon", "gateway", "datapath", "rekey"}
+		"delivery", "overhead", "horizon", "gateway", "datapath", "rekey",
+		"failover"}
 	rs := All()
 	if len(rs) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(rs), len(want))

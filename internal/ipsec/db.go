@@ -246,6 +246,19 @@ func (p *SPD) Remove(spi uint32) int {
 	return n
 }
 
+// Range calls fn for each policy entry in order until fn returns false,
+// holding the database read lock throughout — the iteration a control plane
+// needs to export the policy table (e.g. for a standby's mirror).
+func (p *SPD) Range(fn func(Selector, *OutboundSA) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, e := range p.entries {
+		if !fn(e.sel, e.sa) {
+			return
+		}
+	}
+}
+
 // Lookup returns the first SA whose selector covers (src, dst).
 func (p *SPD) Lookup(src, dst netip.Addr) (*OutboundSA, bool) {
 	p.mu.RLock()

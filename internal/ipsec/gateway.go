@@ -184,9 +184,12 @@ func InboundKey(spi uint32) string { return fmt.Sprintf("rx/%08x", spi) }
 
 // buildOutbound claims the journal cell for spi and constructs the SA over
 // a resilient sender, resuming through the paper's wake-up when the cell
-// holds a prior life's counter. The SA is not yet registered; on error the
-// claim is already released.
-func (g *Gateway) buildOutbound(spi uint32, keys KeyMaterial) (*OutboundSA, error) {
+// holds a prior life's counter. With adopt set the SA is instead left in
+// the down state regardless of prior journal state — a standby's warm image
+// must not wake (and thereby leap and write) until takeover, when a single
+// WakeAll fetches the freshest replicated counters. The SA is not yet
+// registered; on error the claim is already released.
+func (g *Gateway) buildOutbound(spi uint32, keys KeyMaterial, adopt bool) (*OutboundSA, error) {
 	key := OutboundKey(spi)
 	cell, resume, err := g.claimCell(key, spi, "outbound")
 	if err != nil {
@@ -209,7 +212,10 @@ func (g *Gateway) buildOutbound(spi uint32, keys KeyMaterial) (*OutboundSA, erro
 		g.releaseCell(key)
 		return nil, fmt.Errorf("ipsec: gateway outbound %#x: %w", spi, err)
 	}
-	if resume {
+	if adopt {
+		// Warm standby image: hold the SA down; takeover wakes it.
+		snd.Reset()
+	} else if resume {
 		// The cell held a prior life's counter: starting at 1 would reuse
 		// every number below it. Resume via reset + wake instead.
 		snd.Reset()
@@ -228,7 +234,7 @@ func (g *Gateway) buildOutbound(spi uint32, keys KeyMaterial) (*OutboundSA, erro
 // (FETCH + 2K leap + SAVE) rather than restarting at 1; it is briefly
 // StateWaking — WakeAll waits for it.
 func (g *Gateway) AddOutbound(spi uint32, keys KeyMaterial, sel Selector) (*OutboundSA, error) {
-	sa, err := g.buildOutbound(spi, keys)
+	sa, err := g.buildOutbound(spi, keys, false)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +271,7 @@ func (g *Gateway) RekeyOutbound(oldSPI, newSPI uint32, keys KeyMaterial) (*Outbo
 	if old == nil {
 		return nil, fmt.Errorf("ipsec: rekey outbound %#x: %w: no such SA", oldSPI, ErrUnknownSPI)
 	}
-	sa, err := g.buildOutbound(newSPI, keys)
+	sa, err := g.buildOutbound(newSPI, keys, false)
 	if err != nil {
 		return nil, err
 	}
@@ -344,8 +350,9 @@ func (g *Gateway) Outbound(spi uint32) (*OutboundSA, bool) {
 }
 
 // buildInbound claims the journal cell for spi and constructs the SA over a
-// resilient fast-path receiver; see buildOutbound.
-func (g *Gateway) buildInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
+// resilient fast-path receiver; see buildOutbound (including the adopt
+// down-state semantics).
+func (g *Gateway) buildInbound(spi uint32, keys KeyMaterial, adopt bool) (*InboundSA, error) {
 	key := InboundKey(spi)
 	cell, resume, err := g.claimCell(key, spi, "inbound")
 	if err != nil {
@@ -372,7 +379,9 @@ func (g *Gateway) buildInbound(spi uint32, keys KeyMaterial) (*InboundSA, error)
 		g.releaseCell(key)
 		return nil, fmt.Errorf("ipsec: gateway inbound %#x: %w", spi, err)
 	}
-	if resume {
+	if adopt {
+		rcv.Reset()
+	} else if resume {
 		rcv.Reset()
 		rcv.Wake()
 	}
@@ -385,7 +394,7 @@ func (g *Gateway) buildInbound(spi uint32, keys KeyMaterial) (*InboundSA, error)
 // cell is claimed exclusively, and a recovered window edge resumes through
 // the wake-up leap instead of re-accepting old sequence numbers.
 func (g *Gateway) AddInbound(spi uint32, keys KeyMaterial) (*InboundSA, error) {
-	sa, err := g.buildInbound(spi, keys)
+	sa, err := g.buildInbound(spi, keys, false)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +425,7 @@ func (g *Gateway) RekeyInbound(oldSPI, newSPI uint32, keys KeyMaterial) (*Inboun
 	if !ok {
 		return nil, fmt.Errorf("ipsec: rekey inbound %#x: %w: no such SA", oldSPI, ErrUnknownSPI)
 	}
-	sa, err := g.buildInbound(newSPI, keys)
+	sa, err := g.buildInbound(newSPI, keys, false)
 	if err != nil {
 		return nil, err
 	}
@@ -692,7 +701,7 @@ func (g *Gateway) RemoveOutbound(spi uint32) bool {
 	g.spd.Remove(spi)
 	g.mu.Unlock()
 	sa.BeginDrain()
-	sa.Sender().Reset() // stop the counter so no further save can start
+	sa.Sender().Reset()            // stop the counter so no further save can start
 	g.retireCell(OutboundKey(spi)) //nolint:errcheck // see RemoveInbound
 	return true
 }

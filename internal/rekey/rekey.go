@@ -62,6 +62,9 @@ var (
 	// ErrRolloverInProgress reports a Rollover on a tunnel that is already
 	// mid-rollover (draining its previous generation).
 	ErrRolloverInProgress = errors.New("rekey: rollover already in progress")
+	// ErrUnknownGateway reports a Handoff whose old gateway is neither of
+	// the orchestrator's two.
+	ErrUnknownGateway = errors.New("rekey: gateway not managed by this orchestrator")
 )
 
 // DefaultMaxAttempts bounds exchange retries per rollover trigger.
@@ -323,6 +326,54 @@ func (o *Orchestrator) rolloverLocked(t *Tunnel) error {
 	t.drainFrom = o.now()
 	t.generation++
 	o.stats.Rollovers++
+	return nil
+}
+
+// Handoff swaps one of the orchestrator's gateways for its cluster
+// successor — the promotion hand-off that lets tunnel lifecycles, including
+// an in-flight rollover, survive a failover. Every tracked tunnel's live
+// outbound SAs are re-resolved by SPI against the new pair, so later
+// rollovers and retirements act on the promoted gateway's (adopted) SAs
+// instead of the dead node's. Tunnels draining a previous generation keep
+// draining: retirement addresses the old SAs by SPI and tolerates any the
+// standby's mirror missed. A rollover whose exchange was interrupted by the
+// crash simply failed (its successor SAs never reached the snapshot); the
+// tunnel is steady, still soft-expired, and the next Poll retries the whole
+// exchange against the promoted gateway.
+//
+// Handoff fails with ErrUnknownGateway when old is neither managed gateway,
+// and with ErrUnknownTunnel when a tunnel's live SA cannot be resolved in
+// the new pair (the standby's mirror predates the tunnel's last cutover);
+// no tunnel is repointed unless all can be.
+func (o *Orchestrator) Handoff(old, nu *ipsec.Gateway) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cfgA, cfgB := o.cfg.A, o.cfg.B
+	switch old {
+	case cfgA:
+		cfgA = nu
+	case cfgB:
+		cfgB = nu
+	default:
+		return ErrUnknownGateway
+	}
+	// Resolve everything first, then commit: a half-repointed tunnel set
+	// would leave the orchestrator acting on two generations of gateway.
+	outA := make([]*ipsec.OutboundSA, len(o.tunnels))
+	outB := make([]*ipsec.OutboundSA, len(o.tunnels))
+	for i, t := range o.tunnels {
+		a, okA := cfgA.Outbound(t.abSPI)
+		b, okB := cfgB.Outbound(t.baSPI)
+		if !okA || !okB {
+			return fmt.Errorf("%w: A->B %#x, B->A %#x (mirror predates cutover?)",
+				ErrUnknownTunnel, t.abSPI, t.baSPI)
+		}
+		outA[i], outB[i] = a, b
+	}
+	o.cfg.A, o.cfg.B = cfgA, cfgB
+	for i, t := range o.tunnels {
+		t.outA, t.outB = outA[i], outB[i]
+	}
 	return nil
 }
 

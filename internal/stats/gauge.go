@@ -1,0 +1,33 @@
+package stats
+
+import "sync/atomic"
+
+// Gauge is a goroutine-safe instantaneous measurement: Set overwrites,
+// Value reads. Unlike the accumulating types in this package it is meant
+// for live operational reporting — the cluster layer publishes replication
+// lag through gauges so an operator (or an experiment's assertion) can read
+// "how far behind is the standby right now" without stopping the world.
+// The zero value is a gauge at 0, ready for use.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set overwrites the gauge's value.
+func (g *Gauge) Set(v uint64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() uint64 { return g.v.Load() }
+
+// Counter is a goroutine-safe monotone event count: Add accumulates, Value
+// reads. The applied-record and snapshot-load counters of the replication
+// pipeline are Counters; rates derive from reading them over time. The
+// zero value is a counter at 0, ready for use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Value returns the accumulated count.
+func (c *Counter) Value() uint64 { return c.v.Load() }

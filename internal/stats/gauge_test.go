@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetValue(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %d, want 0", g.Value())
+	}
+	g.Set(42)
+	g.Set(7) // gauges overwrite, they do not accumulate
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestCounterAccumulatesConcurrently(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}

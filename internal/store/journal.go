@@ -77,6 +77,18 @@ type Journal struct {
 	snapSize int64 // what a one-record-per-key snapshot would occupy
 	closed   bool
 	ioErr    error // sticky append-path write error
+	fenceErr error // sticky cluster fence; appends refused (see Fence)
+
+	// Replication state (see tail.go). tailBuf retains the most recent
+	// records of the logical append stream — bounded by tailCap — so
+	// attached Tails can ship them; tailMin is the sequence number of
+	// tailBuf[0]. syncTail, when set, gates save acknowledgment on the
+	// follower's applied position.
+	tails    map[*Tail]bool
+	tailBuf  []TailRecord
+	tailMin  uint64
+	tailCap  int
+	syncTail *Tail
 
 	// Group-commit state. Every append gets a sequence number; a record
 	// with number n is durable once syncedSeq > n. One goroutine at a time
@@ -125,6 +137,25 @@ func JournalBatchDelay(d time.Duration) JournalOption {
 	return func(j *Journal) { j.batchDelay = d }
 }
 
+// DefaultTailBuffer is the number of recent records a Journal retains for
+// tailing readers when JournalTailBuffer is not given.
+const DefaultTailBuffer = 1 << 12
+
+// JournalTailBuffer sets the retained-record window for tailing readers
+// (Follow): at least n recent records stay available, and the buffer is
+// trimmed back to n once it reaches 2n (amortizing the trim to O(1) per
+// append). A reader that falls behind the window resynchronizes by
+// snapshot-then-tail (ErrTailLagged), so the buffer bounds replication
+// memory, not correctness. Values < 1 are clamped to 1.
+func JournalTailBuffer(n int) JournalOption {
+	return func(j *Journal) {
+		if n < 1 {
+			n = 1
+		}
+		j.tailCap = n
+	}
+}
+
 // JournalStrictRecovery makes OpenJournal refuse (ErrCorrupt) when
 // CRC-valid records follow the first bad frame, instead of truncating
 // everything from the bad frame as a torn tail. Truncation is always safe
@@ -148,6 +179,7 @@ func OpenJournal(path string, opts ...JournalOption) (*Journal, error) {
 		vals:      make(map[string]uint64),
 		sync:      true,
 		compactAt: DefaultCompactAt,
+		tailCap:   DefaultTailBuffer,
 		snapSize:  journalHeaderLen,
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -359,15 +391,8 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 	if len(key) == 0 || len(key) > journalMaxKey {
 		return fmt.Errorf("%w: length %d", ErrBadKey, len(key))
 	}
-	rec := appendRecord(nil, key, v, del)
-
 	j.mu.Lock()
-	if j.closed {
-		j.mu.Unlock()
-		return ErrClosed
-	}
-	if j.ioErr != nil {
-		err := j.ioErr
+	if err := j.usableLocked(); err != nil {
 		j.mu.Unlock()
 		return err
 	}
@@ -377,14 +402,41 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 			return nil // nothing durable to erase
 		}
 	}
+	mySeq, err := j.appendLocked(key, v, del)
+	if err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	return j.finishAppendLocked(mySeq)
+}
+
+// usableLocked reports why the journal cannot accept an append: closed,
+// fenced off by a cluster promotion, or poisoned by an earlier I/O error.
+func (j *Journal) usableLocked() error {
+	switch {
+	case j.closed:
+		return ErrClosed
+	case j.fenceErr != nil:
+		return j.fenceErr
+	case j.ioErr != nil:
+		return j.ioErr
+	default:
+		return nil
+	}
+}
+
+// appendLocked writes one record frame and performs the bookkeeping that
+// must be atomic with it (vals, sizes, the tail window). The caller holds
+// mu and has already validated the key and journal state; durability is the
+// caller's next step (finishAppendLocked).
+func (j *Journal) appendLocked(key string, v uint64, del bool) (uint64, error) {
+	rec := appendRecord(nil, key, v, del)
 	if _, err := j.f.Write(rec); err != nil {
 		// A partial append leaves a torn frame; recovery discards it, but
 		// further appends to this handle would be misframed. Poison the
 		// journal: the caller must reopen.
 		j.ioErr = fmt.Errorf("store: journal append: %w", err)
-		err = j.ioErr
-		j.mu.Unlock()
-		return err
+		return 0, j.ioErr
 	}
 	j.appends++
 	j.logSize += int64(len(rec))
@@ -399,7 +451,26 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 	}
 	mySeq := j.appendSeq
 	j.appendSeq++
+	// The record joins the retained tail window even before it is durable;
+	// Recv gates delivery on syncedSeq, so readers never see it early.
+	// Trimming past a slow reader's cursor is fine — it resynchronizes by
+	// snapshot (ErrTailLagged). The trim fires only once the buffer holds
+	// twice the cap and then sheds a full cap at once, so the per-append
+	// cost is amortized O(1) instead of an O(cap) memmove per record.
+	j.tailBuf = append(j.tailBuf, TailRecord{Seq: mySeq, Key: key, Val: v, Del: del})
+	if len(j.tailBuf) >= 2*j.tailCap {
+		over := len(j.tailBuf) - j.tailCap
+		j.tailBuf = append(j.tailBuf[:0], j.tailBuf[over:]...)
+		j.tailMin += uint64(over)
+	}
+	return mySeq, nil
+}
 
+// finishAppendLocked makes the record numbered mySeq durable (and, with a
+// sync follower, replicated), releasing mu before returning. It also owns
+// the compaction trigger, so every append path — saves, tombstones, and
+// replicated batches — compacts under the same policy.
+func (j *Journal) finishAppendLocked(mySeq uint64) error {
 	// Compact when the log is both past the threshold and at least twice
 	// what the snapshot would occupy — the second condition keeps a
 	// journal whose key population alone exceeds compactAt from
@@ -409,15 +480,17 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 		// it runs under mu (appends pause), which is fine for a rare,
 		// size-amortized event. Skipped while an fsync is in flight so the
 		// syncer's file handle stays valid.
-		err := j.compactLocked()
-		j.mu.Unlock()
-		return err
+		if err := j.compactLocked(); err != nil {
+			j.mu.Unlock()
+			return err
+		}
+		// Durable; fall through to commitLocked, which returns immediately
+		// unless a sync follower's ack is still outstanding.
 	}
 
 	if !j.sync {
 		j.syncedSeq = j.appendSeq
-		j.mu.Unlock()
-		return nil
+		j.cond.Broadcast() // wake tailing readers; commits are immediate
 	}
 	return j.commitLocked(mySeq)
 }
@@ -425,12 +498,29 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 // commitLocked implements group commit for the record numbered mySeq; it is
 // entered with mu held and releases it before returning. Whoever finds no
 // fsync in flight becomes the syncer for everything appended so far; the
-// rest wait and re-check.
+// rest wait and re-check. With a registered sync follower the save is only
+// acknowledged once the follower's Ack covers the record too — replication
+// joins fsync as part of the durability contract.
 func (j *Journal) commitLocked(mySeq uint64) error {
 	for {
-		if j.syncedSeq > mySeq {
+		// A fence set while the record was in flight wins over completion:
+		// reporting an already-replicated save as fenced is conservative
+		// (the medium is monotone; the endpoint just retries and backs
+		// off), whereas acknowledging a write on a deposed primary is not.
+		if j.fenceErr != nil {
+			err := j.fenceErr
 			j.mu.Unlock()
-			return nil
+			return err
+		}
+		if j.syncedSeq > mySeq {
+			t := j.syncTail
+			if t == nil || t.ackNext > mySeq || j.closed {
+				j.mu.Unlock()
+				return nil
+			}
+			// Locally durable but not yet applied by the sync follower.
+			j.cond.Wait()
+			continue
 		}
 		// The poison check must come before syncer election: a record
 		// appended while the failing fsync was in flight has
