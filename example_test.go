@@ -150,6 +150,38 @@ func ExampleGateway_VerifyBatch() {
 	// Output: delivered 3, rejected 1 replay
 }
 
+// The zero-allocation datapath: SealAppend builds the wire bytes into a
+// reused buffer and OpenAppend decrypts into another — per-SA crypto state
+// is pooled, so a steady-state packet costs no allocation at all.
+func ExampleOutboundSA_SealAppend() {
+	var txStore, rxStore antireplay.MemStore
+	keys := antireplay.KeyMaterial{AuthKey: make([]byte, antireplay.AuthKeySize)}
+	snd, _ := antireplay.NewSender(antireplay.SenderConfig{K: 25, Store: &txStore})
+	tx, _ := antireplay.NewOutboundSA(0x77, keys, snd, true, antireplay.Lifetime{}, nil)
+	rcv, _ := antireplay.NewReceiver(antireplay.ReceiverConfig{K: 25, Store: &rxStore, Concurrent: true})
+	rx, _ := antireplay.NewInboundSA(0x77, keys, rcv, true, antireplay.Lifetime{}, nil)
+
+	wireBuf := make([]byte, 0, 2048)  // reused across packets
+	plainBuf := make([]byte, 0, 2048) // reused across packets
+	for _, msg := range []string{"first", "second"} {
+		wire, err := tx.SealAppend(wireBuf[:0], []byte(msg))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		out, verdict, err := rx.OpenAppend(plainBuf[:0], wire)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s (%v)\n", out, verdict.Delivered())
+		wireBuf, plainBuf = wire[:0], out[:0]
+	}
+	// Output:
+	// first (true)
+	// second (true)
+}
+
 // The outbound half of a make-before-break rekey: the successor SA takes
 // over the SPD entry atomically and the old generation refuses new seals
 // while its in-flight packets drain.

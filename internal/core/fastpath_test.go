@@ -20,7 +20,7 @@ func newFastReceiver(t *testing.T, cfg ReceiverConfig) (*Receiver, *store.Mem) {
 	if err != nil {
 		t.Fatalf("NewReceiver: %v", err)
 	}
-	if r.fastWin == nil {
+	if r.fastWin.Load() == nil {
 		t.Fatal("Concurrent config did not enable the fast path")
 	}
 	return r, &m

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"antireplay/internal/seqwin"
+	"antireplay/internal/stats"
 	"antireplay/internal/store"
 	"antireplay/internal/trace"
 )
@@ -68,17 +69,22 @@ func (v Verdict) String() string {
 }
 
 func verdictOf(d seqwin.Decision) Verdict {
-	switch d {
-	case seqwin.DecisionNew:
-		return VerdictNew
-	case seqwin.DecisionInWindow:
-		return VerdictInWindow
-	case seqwin.DecisionDuplicate:
-		return VerdictDuplicate
-	default:
-		return VerdictStale
+	// The first four Verdict values deliberately mirror the Decision values
+	// (compile-time checked below), so the per-packet conversion is a cast.
+	if d >= seqwin.DecisionNew && d <= seqwin.DecisionStale {
+		return Verdict(d)
 	}
+	return VerdictStale
 }
+
+// The cast in verdictOf relies on this correspondence; each pair is pinned
+// independently so no two misalignments can cancel out.
+var (
+	_ = [1]struct{}{}[VerdictNew-Verdict(seqwin.DecisionNew)]
+	_ = [1]struct{}{}[VerdictInWindow-Verdict(seqwin.DecisionInWindow)]
+	_ = [1]struct{}{}[VerdictDuplicate-Verdict(seqwin.DecisionDuplicate)]
+	_ = [1]struct{}{}[VerdictStale-Verdict(seqwin.DecisionStale)]
+)
 
 // DefaultWakeBuffer is the default capacity of the post-wake message buffer.
 const DefaultWakeBuffer = 1024
@@ -175,38 +181,49 @@ func (c ReceiverConfig) Validate() error {
 // Receiver is the paper's process q: an anti-replay window with SAVE/FETCH
 // persistence of the right edge. Safe for concurrent use.
 //
-// With a concurrency-safe window (ReceiverConfig.Concurrent, or any Window
-// implementing seqwin.ConcurrentWindow) the receiver admits in-window and
-// in-order messages on a lock-minimizing fast path: the verdict comes from
-// the window's own atomic admission while holding only a shared read gate,
-// so concurrent Admits on different sequence numbers never serialize. The
-// full mutex is taken only for lifecycle transitions (Reset/Wake), for the
-// "edge advanced >= K" SAVE trigger, and for strict-horizon handling.
+// With ReceiverConfig.Concurrent the receiver admits messages on a
+// wait-free fast path: the current seqwin.Atomic window is published
+// through an atomic pointer (RCU-style), so an admit is one pointer load
+// plus the window's own lock-free admission — no mutex, no read-write gate,
+// no shared-cacheline counter. Lifecycle transitions unpublish the pointer
+// (Reset) or install a freshly built window (Wake) under the mutex; an
+// admit that raced a reset completes against the superseded window object,
+// which is equivalent to the message having been admitted just before the
+// crash — the post-wake window starts beyond the leap with every slot
+// marked, so exactly-once delivery is preserved (the -race stress suites
+// exercise exactly this interleaving). A caller-provided Window (even a
+// ConcurrentWindow) is driven through the serialized slow path: the
+// receiver cannot rebuild a foreign window on wake, so it cannot let
+// stale fast-path admits race a Reinit.
 //
-// Locking discipline: r.state and the identity/content of r.win are
-// mutated only while holding BOTH r.mu and r.gate (write side); readers
-// hold either r.mu (slow path) or r.gate.RLock (fast path). Monotonic
-// protocol counters shared with the fast path (lst, committed,
-// delivered, discarded) are atomics, written under r.mu.
+// Locking discipline: r.state and r.win are mutated only under r.mu; the
+// fast path never reads them — it consumes the published window pointer,
+// which is non-nil only while the receiver is StateUp. Monotonic protocol
+// counters shared with the fast path (lst, committed) are atomics written
+// under r.mu or saveMu; delivered/discarded are sharded counters.
 type Receiver struct {
 	cfg     ReceiverConfig
 	saver   BackgroundSaver
 	now     nowFunc
-	fastWin seqwin.ConcurrentWindow // non-nil enables the admission fast path
-	leap    uint64                  // Leap(K, leapFactor), precomputed
-	width   int                     // window width (immutable)
+	leap    uint64 // Leap(K, leapFactor), precomputed
+	width   int    // window width (immutable)
+	k       uint64 // cfg.K, flattened for the per-packet trigger check
+	strict  bool   // cfg.StrictHorizon && !cfg.Baseline, flattened
+	traceOn bool   // cfg.Trace != nil, flattened
 
-	// gate fences the fast path: admits hold RLock; state/window
-	// transitions hold Lock so no fast-path admit can observe — or mutate —
-	// a window mid-reinstall or a half-changed lifecycle state.
-	gate sync.RWMutex
+	// fastWin publishes the current window to the admission fast path. It
+	// is non-nil exactly while the receiver is StateUp with an owned
+	// concurrent window; Reset stores nil, Wake installs a new window.
+	fastWin atomic.Pointer[seqwin.Atomic]
+	ownFast bool // the receiver owns (and may rebuild) its Atomic window
 
-	mu      sync.Mutex
-	win     seqwin.Window
-	state   State
-	gen     uint64
-	wakeErr error
-	buffer  []uint64 // messages held during StateWaking
+	mu        sync.Mutex
+	win       seqwin.Window
+	state     State
+	gen       uint64
+	wakeErr   error
+	buffer    []uint64 // messages held during StateWaking
+	harvested bool     // r.win's delivery tally already folded into delivered
 
 	lst       atomic.Uint64 // last edge value handed to a SAVE (paper: lst)
 	committed atomic.Uint64 // last edge value known durable
@@ -214,8 +231,8 @@ type Receiver struct {
 	saveMu  sync.Mutex // orders saver invocations; see startSave
 	saveGen uint64     // mirrors gen for startSave's torn-save check
 
-	delivered   atomic.Uint64
-	discarded   atomic.Uint64
+	delivered   stats.ShardedCounter
+	discarded   stats.ShardedCounter
 	savesStart  atomic.Uint64
 	savesOK     uint64
 	savesFailed uint64
@@ -246,16 +263,25 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		cfg.WakeBuffer = DefaultWakeBuffer
 	}
 	r := &Receiver{
-		cfg:   cfg,
-		saver: cfg.Saver,
-		now:   clockOrZero(cfg.Clock),
-		win:   win,
-		width: win.W(),
-		leap:  Leap(cfg.K, cfg.leapFactor()),
-		state: StateUp,
+		cfg:     cfg,
+		saver:   cfg.Saver,
+		now:     clockOrZero(cfg.Clock),
+		win:     win,
+		width:   win.W(),
+		leap:    Leap(cfg.K, cfg.leapFactor()),
+		k:       cfg.K,
+		strict:  cfg.StrictHorizon && !cfg.Baseline,
+		traceOn: cfg.Trace != nil,
+		state:   StateUp,
 	}
-	if cw, ok := win.(seqwin.ConcurrentWindow); ok {
-		r.fastWin = cw
+	if cfg.Baseline {
+		r.k = 0 // the fast path treats k == 0 as "no SAVE trigger"
+	}
+	if aw, ok := win.(*seqwin.Atomic); ok && cfg.Window == nil {
+		// The receiver built this window itself, so it may replace it on
+		// wake — the precondition for the RCU fast path.
+		r.ownFast = true
+		r.fastWin.Store(aw)
 	}
 	if !cfg.Baseline {
 		if r.saver == nil {
@@ -279,11 +305,12 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 // callback (VerdictBuffered) or dropped if the buffer is full
 // (VerdictOverflow).
 //
-// With a concurrency-safe window the common case completes on the fast
-// path without the receiver mutex; see the type comment.
+// With ReceiverConfig.Concurrent the common case completes on the wait-free
+// fast path — one atomic pointer load plus the window's own lock-free
+// admission; see the type comment.
 func (r *Receiver) Admit(s uint64) Verdict {
-	if r.fastWin != nil {
-		if v, ok := r.admitFast(s); ok {
+	if w := r.fastWin.Load(); w != nil {
+		if v, ok := r.admitFast(w, s); ok {
 			return v
 		}
 	}
@@ -335,34 +362,33 @@ func (r *Receiver) startSave(gen, v uint64, force bool, done func(v uint64, err 
 	r.saver.StartSave(v, func(err error) { done(v, err) })
 }
 
-// admitFast decides s against the concurrent window while holding only the
-// shared read gate. It reports ok=false when the message needs the slow
-// path: the receiver is not up, or s lies at or beyond the strict durable
-// horizon.
-func (r *Receiver) admitFast(s uint64) (Verdict, bool) {
-	r.gate.RLock()
-	if r.state != StateUp {
-		r.gate.RUnlock()
-		return 0, false
-	}
-	if r.cfg.StrictHorizon && !r.cfg.Baseline && s >= r.committed.Load()+r.leap {
+// admitFast decides s against the published concurrent window w, touching
+// no lock at all. It reports ok=false when the message needs the slow
+// path: s lies at or beyond the strict durable horizon. (Lifecycle is
+// handled before the call: a non-nil published window means the receiver
+// was StateUp when it was published; an admit racing a concurrent Reset
+// completes against the superseded window, equivalent to arriving just
+// before the crash.)
+func (r *Receiver) admitFast(w *seqwin.Atomic, s uint64) (Verdict, bool) {
+	if r.strict && s >= r.committed.Load()+r.leap {
 		// committed only grows, so a stale read errs toward the slow path,
 		// never toward delivering beyond the true horizon.
-		r.gate.RUnlock()
 		return 0, false
 	}
-	d := r.fastWin.Admit(s)
+	d := w.Admit(s)
 	v := verdictOf(d)
-	if v.Delivered() {
-		r.delivered.Add(1)
-	} else {
-		r.discarded.Add(1)
+	if !d.Deliver() {
+		// Deliveries are not counted here: the claim bit-flip inside the
+		// window already recorded the event (seqwin.Atomic.Delivered), so
+		// the fast path's delivery case costs no extra locked operation.
+		r.discarded.AddSpread(s, 1)
 	}
-	trigger := d == seqwin.DecisionNew && !r.cfg.Baseline && s >= r.cfg.K+r.lst.Load()
-	r.gate.RUnlock()
-
-	r.traceVerdict(s, v)
-	if trigger {
+	if r.traceOn {
+		r.traceVerdict(s, v)
+	}
+	// k == 0 means baseline (no SAVE protocol); the racy lst read is
+	// re-checked under the mutex in saveFromFastPath.
+	if d == seqwin.DecisionNew && r.k != 0 && s >= r.k+r.lst.Load() {
 		r.saveFromFastPath(s)
 	}
 	return v, true
@@ -439,7 +465,12 @@ func (r *Receiver) decideLocked(s uint64) (Verdict, func()) {
 	d := r.win.Admit(s)
 	v := verdictOf(d)
 	if v.Delivered() {
-		r.delivered.Add(1)
+		if !r.ownFast {
+			// An owned Atomic window records its own deliveries as claim
+			// bits (see admitFast); counting here too would double-count
+			// the slow-path admits that land in the same window.
+			r.delivered.Add(1)
+		}
 	} else {
 		r.discarded.Add(1)
 	}
@@ -477,9 +508,20 @@ func (r *Receiver) traceVerdict(s uint64, v Verdict) {
 // considered lost; any in-flight save is discarded.
 func (r *Receiver) Reset() {
 	r.mu.Lock()
-	r.gate.Lock()
+	// Unpublish the fast path first: admits that already loaded the pointer
+	// finish against the superseded window (see the type comment); new ones
+	// fall to the slow path and observe StateDown.
+	r.fastWin.Store(nil)
+	if r.ownFast && !r.harvested {
+		// Fold the abandoned window's delivery tally into the receiver
+		// counter before the wake installs a fresh window. A fast-path admit
+		// still in flight against the old window can slip its claim in after
+		// this harvest; its delivery then goes uncounted — a bounded
+		// observability race on a crashing endpoint, never a protocol one.
+		r.delivered.Add(r.win.(*seqwin.Atomic).Delivered())
+		r.harvested = true
+	}
 	r.state = StateDown
-	r.gate.Unlock()
 	r.gen++
 	gen := r.gen
 	r.resets++
@@ -514,18 +556,15 @@ func (r *Receiver) Wake() {
 	if r.cfg.Baseline {
 		// §3: the reset receiver restarts with r=0 and a cleared window,
 		// accepting any previously used sequence number again.
-		r.gate.Lock()
-		r.win.Reinit(0, false)
+		r.reinstallLocked(0, false)
 		r.state = StateUp
-		r.gate.Unlock()
+		r.publishLocked()
 		r.mu.Unlock()
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWake, Node: r.cfg.Name})
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindWakeDone, Node: r.cfg.Name})
 		return
 	}
-	r.gate.Lock()
 	r.state = StateWaking
-	r.gate.Unlock()
 	gen := r.gen
 	r.mu.Unlock()
 
@@ -556,10 +595,35 @@ func (r *Receiver) failWake(gen uint64, err error) {
 	if r.gen != gen {
 		return
 	}
-	r.gate.Lock()
 	r.state = StateDown
-	r.gate.Unlock()
 	r.wakeErr = err
+}
+
+// reinstallLocked rebuilds the window at the given edge. An owned
+// concurrent window is replaced by a freshly allocated one — never mutated
+// in place — because a fast-path admit that raced the preceding Reset may
+// still be operating on the old object; the superseded window is simply
+// abandoned to it. Other windows are reinitialized in place: they are only
+// ever touched under r.mu. Called with r.mu held and the fast path
+// unpublished.
+func (r *Receiver) reinstallLocked(edge uint64, allSeen bool) {
+	if r.ownFast {
+		w := seqwin.NewAtomic(r.width)
+		w.Reinit(edge, allSeen)
+		r.win = w
+		r.harvested = false // the fresh window starts a new delivery tally
+		return
+	}
+	r.win.Reinit(edge, allSeen)
+}
+
+// publishLocked re-opens the fast path over the current window; a no-op for
+// receivers without an owned concurrent window. Called with r.mu held and
+// r.state == StateUp.
+func (r *Receiver) publishLocked() {
+	if r.ownFast {
+		r.fastWin.Store(r.win.(*seqwin.Atomic))
+	}
 }
 
 func (r *Receiver) finishWake(gen, leaped uint64, err error) {
@@ -569,19 +633,16 @@ func (r *Receiver) finishWake(gen, leaped uint64, err error) {
 		return
 	}
 	if err != nil {
-		r.gate.Lock()
 		r.state = StateDown
-		r.gate.Unlock()
 		r.wakeErr = fmt.Errorf("core: receiver post-wake save: %w", err)
 		r.mu.Unlock()
 		r.cfg.Trace.Record(trace.Event{At: r.now(), Kind: trace.KindSaveError, Node: r.cfg.Name, Seq: leaped})
 		return
 	}
 	// Paper: r := fetched + 2Kq; every entry of wdw set to true.
-	r.gate.Lock()
-	r.win.Reinit(leaped, true)
+	r.reinstallLocked(leaped, true)
 	r.state = StateUp
-	r.gate.Unlock()
+	r.publishLocked()
 	r.lst.Store(leaped)
 	r.committed.Store(leaped)
 	buf := r.buffer
@@ -635,8 +696,8 @@ func (r *Receiver) saveDone(gen, v uint64, err error) {
 
 // Edge returns the anti-replay window's right edge (paper: r).
 func (r *Receiver) Edge() uint64 {
-	if r.fastWin != nil {
-		return r.fastWin.Edge() // atomic; no lock needed
+	if w := r.fastWin.Load(); w != nil {
+		return w.Edge() // atomic; no lock needed
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -678,9 +739,15 @@ type ReceiverStats struct {
 func (r *Receiver) Stats() ReceiverStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	delivered := r.delivered.Value()
+	if r.ownFast && !r.harvested {
+		// The live window carries the current life's delivery tally; see
+		// seqwin.Atomic.Delivered.
+		delivered += r.win.(*seqwin.Atomic).Delivered()
+	}
 	return ReceiverStats{
-		Delivered:    r.delivered.Load(),
-		Discarded:    r.discarded.Load(),
+		Delivered:    delivered,
+		Discarded:    r.discarded.Value(),
 		SavesStarted: r.savesStart.Load(),
 		SavesOK:      r.savesOK,
 		SavesFailed:  r.savesFailed,

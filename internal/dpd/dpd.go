@@ -27,6 +27,7 @@ package dpd
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"antireplay/internal/netsim"
@@ -240,14 +241,16 @@ const (
 	payloadResync     = "DPD/I-AM-UP"
 )
 
-// ProbePayload builds an R-U-THERE payload.
+// ProbePayload builds an R-U-THERE payload. Probes fire on every
+// hold-timer tick across the whole SA population, so the payload is built
+// with a direct append instead of fmt machinery.
 func ProbePayload(probeSeq uint64) []byte {
-	return []byte(fmt.Sprintf("%s%d", payloadRUThere, probeSeq))
+	return strconv.AppendUint([]byte(payloadRUThere), probeSeq, 10)
 }
 
 // AckPayload builds the acknowledgment for a probe payload.
 func AckPayload(probeSeq uint64) []byte {
-	return []byte(fmt.Sprintf("%s%d", payloadRUThereAck, probeSeq))
+	return strconv.AppendUint([]byte(payloadRUThereAck), probeSeq, 10)
 }
 
 // ResyncPayload builds the §6 "I am up" announcement.

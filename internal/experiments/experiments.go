@@ -211,6 +211,14 @@ func All() []Runner {
 			}
 			return Failover(cfg)
 		}},
+		{ID: "hotpath", Paper: "extension: hot-path cost (commit pipeline, zero-alloc datapath, wait-free admission)", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultHotpathConfig()
+			if fast {
+				cfg.Records = 64000
+				cfg.Packets = 40000
+			}
+			return Hotpath(cfg)
+		}},
 	}
 }
 

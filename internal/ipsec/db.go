@@ -4,27 +4,38 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"antireplay/internal/core"
 )
 
-// sadShardBits sets the number of lock stripes in a SAD (a power of two so
-// the hash's top bits index directly). 64 stripes keep contention
-// negligible well past 100k SAs while costing ~6KB per database.
+// sadShardBits sets the number of shards in a SAD (a power of two so the
+// hash's top bits index directly). 64 shards keep writer contention
+// negligible well past 100k SAs while costing a few KB per database.
 const (
 	sadShardBits  = 6
 	sadShardCount = 1 << sadShardBits
 )
 
+// sadMap is one shard's immutable SPI table. Readers obtain it with a
+// single atomic load; writers rebuild a copy under the shard mutex and
+// publish the new map — RCU with the garbage collector standing in for the
+// grace period.
+type sadMap = map[uint32]*InboundSA
+
 type sadShard struct {
-	mu  sync.RWMutex
-	sas map[uint32]*InboundSA
+	cur atomic.Pointer[sadMap] // always non-nil; the published snapshot
+	mu  sync.Mutex             // serializes writers (copy-on-write rebuilds)
 }
 
-// SAD is the security association database: inbound SAs keyed by SPI. The
-// table is lock-striped into sadShardCount shards so per-packet lookups on
-// different SAs never serialize on one database-wide lock — the hot path of
-// a gateway terminating many tunnels. Safe for concurrent use.
+// SAD is the security association database: inbound SAs keyed by SPI. Each
+// of the sadShardCount shards publishes an immutable map snapshot through
+// an atomic pointer, so the per-packet Lookup is wait-free — one atomic
+// load plus a map read, with no lock acquisition at all. Mutations
+// (Add/Delete) copy the shard's map under a writer mutex and swap the
+// pointer; at gateway scale they are control-plane rare while lookups run
+// per packet, exactly the asymmetry copy-on-write wants. Safe for
+// concurrent use.
 type SAD struct {
 	shards [sadShardCount]sadShard
 }
@@ -32,43 +43,62 @@ type SAD struct {
 // NewSAD returns an empty database.
 func NewSAD() *SAD {
 	d := &SAD{}
+	empty := sadMap{}
 	for i := range d.shards {
-		d.shards[i].sas = make(map[uint32]*InboundSA)
+		d.shards[i].cur.Store(&empty)
 	}
 	return d
 }
 
-// shard maps an SPI to its stripe. SPIs are often allocated sequentially,
+// shard maps an SPI to its shard. SPIs are often allocated sequentially,
 // so the index comes from the top bits of a Fibonacci-hash multiply rather
 // than the SPI's own low bits.
 func (d *SAD) shard(spi uint32) *sadShard {
 	return &d.shards[(spi*2654435761)>>(32-sadShardBits)]
 }
 
-// Add registers sa, replacing any SA with the same SPI.
-func (d *SAD) Add(sa *InboundSA) {
-	s := d.shard(sa.SPI())
+// mutate rebuilds a shard's snapshot through fn under the writer mutex.
+func (s *sadShard) mutate(fn func(m sadMap)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sas[sa.SPI()] = sa
+	old := *s.cur.Load()
+	m := make(sadMap, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	fn(m)
+	s.cur.Store(&m)
+}
+
+// Add registers sa, replacing any SA with the same SPI.
+func (d *SAD) Add(sa *InboundSA) {
+	d.shard(sa.SPI()).mutate(func(m sadMap) { m[sa.SPI()] = sa })
 }
 
 // Delete removes the SA with the given SPI, reporting whether it existed.
+// Deleting an absent SPI is a read-only no-op (no snapshot republish).
 func (d *SAD) Delete(spi uint32) bool {
 	s := d.shard(spi)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.sas[spi]
-	delete(s.sas, spi)
-	return ok
+	old := *s.cur.Load()
+	if _, ok := old[spi]; !ok {
+		return false
+	}
+	m := make(sadMap, len(old))
+	for k, v := range old {
+		if k != spi {
+			m[k] = v
+		}
+	}
+	s.cur.Store(&m)
+	return true
 }
 
-// Lookup returns the SA for spi.
+// Lookup returns the SA for spi. It is wait-free: one atomic snapshot load
+// and a map read, safe against any concurrent Add/Delete.
 func (d *SAD) Lookup(spi uint32) (*InboundSA, bool) {
-	s := d.shard(spi)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sa, ok := s.sas[spi]
+	sa, ok := (*d.shard(spi).cur.Load())[spi]
 	return sa, ok
 }
 
@@ -76,28 +106,21 @@ func (d *SAD) Lookup(spi uint32) (*InboundSA, bool) {
 func (d *SAD) Len() int {
 	n := 0
 	for i := range d.shards {
-		s := &d.shards[i]
-		s.mu.RLock()
-		n += len(s.sas)
-		s.mu.RUnlock()
+		n += len(*d.shards[i].cur.Load())
 	}
 	return n
 }
 
 // Range calls fn for each registered SA until fn returns false. The
-// iteration holds one shard's read lock at a time; SAs added or deleted
-// concurrently may or may not be observed.
+// iteration walks each shard's published snapshot without blocking writers;
+// SAs added or deleted concurrently may or may not be observed.
 func (d *SAD) Range(fn func(*InboundSA) bool) {
 	for i := range d.shards {
-		s := &d.shards[i]
-		s.mu.RLock()
-		for _, sa := range s.sas {
+		for _, sa := range *d.shards[i].cur.Load() {
 			if !fn(sa) {
-				s.mu.RUnlock()
 				return
 			}
 		}
-		s.mu.RUnlock()
 	}
 }
 
@@ -126,19 +149,30 @@ func (s Selector) Matches(src, dst netip.Addr) bool {
 	return s.Src.Contains(src) && s.Dst.Contains(dst)
 }
 
+// spdView is an immutable snapshot of the policy database: the ordered
+// entry list plus the host-route index derived from it. Lookup consumes a
+// view with one atomic load; every mutation builds and publishes a fresh
+// view under the writer mutex, so a reader can never observe a half-updated
+// index — the property the old read-write lock provided, now without any
+// per-packet lock traffic.
+type spdView struct {
+	entries []spdEntry
+	exact   map[hostPair]*OutboundSA
+	scanAll bool // a non-host selector exists; the ordered scan decides
+}
+
 // SPD is the security policy database: an ordered list of selectors mapping
 // outbound traffic to SAs (first match wins). Host-route selectors (both
 // prefixes single-address, the common shape on a tunnel concentrator) are
 // additionally indexed in a hash map; while every entry is a host route,
 // Lookup is O(1) instead of a linear selector scan — the outbound analogue
-// of the SAD's lock striping. One non-host selector falls Lookup back to
-// the ordered scan, preserving first-match-wins exactly. Safe for
+// of the SAD's sharding. One non-host selector falls Lookup back to the
+// ordered scan, preserving first-match-wins exactly. Reads are wait-free
+// against an atomically published immutable view; see spdView. Safe for
 // concurrent use.
 type SPD struct {
-	mu      sync.RWMutex
-	entries []spdEntry
-	exact   map[hostPair]*OutboundSA
-	scanAll bool // a non-host selector exists; the ordered scan decides
+	mu  sync.Mutex // serializes writers (view rebuilds)
+	cur atomic.Pointer[spdView]
 }
 
 type spdEntry struct {
@@ -150,38 +184,84 @@ type hostPair struct {
 	src, dst netip.Addr
 }
 
-// NewSPD returns an empty policy database.
-func NewSPD() *SPD { return &SPD{exact: make(map[hostPair]*OutboundSA)} }
+// emptySPDView backs zero-value and fresh SPDs.
+var emptySPDView = &spdView{exact: map[hostPair]*OutboundSA{}}
 
-// Add appends a policy entry.
+// NewSPD returns an empty policy database.
+func NewSPD() *SPD {
+	p := &SPD{}
+	p.cur.Store(emptySPDView)
+	return p
+}
+
+// view returns the current snapshot, tolerating a zero-value SPD.
+func (p *SPD) view() *spdView {
+	if v := p.cur.Load(); v != nil {
+		return v
+	}
+	return emptySPDView
+}
+
+// rebuild derives a fresh view from an entry list: the host-route index is
+// reconstructed entry by entry so first-match-wins semantics are identical
+// to the ordered scan.
+func rebuildSPDView(entries []spdEntry) *spdView {
+	v := &spdView{entries: entries, exact: make(map[hostPair]*OutboundSA, len(entries))}
+	for _, e := range entries {
+		if e.sel.Src.IsSingleIP() && e.sel.Dst.IsSingleIP() {
+			pair := hostPair{src: e.sel.Src.Addr(), dst: e.sel.Dst.Addr()}
+			if _, dup := v.exact[pair]; !dup {
+				// First match wins; a later duplicate never shadows it.
+				v.exact[pair] = e.sa
+			}
+		} else {
+			v.scanAll = true
+			v.exact = nil // never consulted; the ordered scan decides
+			break
+		}
+	}
+	if v.scanAll {
+		v.exact = nil
+	}
+	return v
+}
+
+// Add appends a policy entry. The new view's entry list shares the old
+// backing array where capacity allows (published views only ever read
+// their own prefix, and in-place mutation happens solely on freshly copied
+// slices), so the slice work is amortized O(1); the host-route index is
+// copied and extended, which makes Add O(existing host routes) — the price
+// of lock-free readers. That is fine at control-plane rates; a caller
+// installing a very large table pays a quadratic total and should prefer
+// fewer, wider selectors (or accept the one-time cost — 10k entries
+// install in well under a second).
 func (p *SPD) Add(sel Selector, sa *OutboundSA) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.entries = append(p.entries, spdEntry{sel: sel, sa: sa})
-	if p.scanAll {
-		return // the ordered scan decides; the map has been dropped
-	}
-	if sel.Src.IsSingleIP() && sel.Dst.IsSingleIP() {
-		if p.exact == nil { // zero-value SPD works like before
-			p.exact = make(map[hostPair]*OutboundSA)
+	old := p.view()
+	entries := append(old.entries, spdEntry{sel: sel, sa: sa})
+	v := &spdView{entries: entries, scanAll: old.scanAll}
+	switch {
+	case old.scanAll:
+		// The ordered scan already decides; no index to maintain.
+	case sel.Src.IsSingleIP() && sel.Dst.IsSingleIP():
+		v.exact = make(map[hostPair]*OutboundSA, len(old.exact)+1)
+		for k, sa := range old.exact {
+			v.exact[k] = sa
 		}
 		pair := hostPair{src: sel.Src.Addr(), dst: sel.Dst.Addr()}
-		if _, dup := p.exact[pair]; !dup {
+		if _, dup := v.exact[pair]; !dup {
 			// First match wins; a later duplicate never shadows it.
-			p.exact[pair] = sa
+			v.exact[pair] = sa
 		}
-	} else {
-		p.scanAll = true
-		p.exact = nil // never consulted again; free it
+	default:
+		v.scanAll = true // a non-host selector: the ordered scan decides
 	}
+	p.cur.Store(v)
 }
 
 // Len returns the number of policy entries.
-func (p *SPD) Len() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.entries)
-}
+func (p *SPD) Len() int { return len(p.view().entries) }
 
 // Replace atomically repoints every entry carrying old to carry new,
 // preserving each entry's selector and position — the outbound cutover of a
@@ -191,31 +271,38 @@ func (p *SPD) Len() int {
 func (p *SPD) Replace(old, new *OutboundSA) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	v := p.view()
 	n := 0
-	for i := range p.entries {
-		if p.entries[i].sa == old {
-			p.entries[i].sa = new
+	for i := range v.entries {
+		if v.entries[i].sa == old {
 			n++
 		}
 	}
-	for pair, sa := range p.exact {
-		if sa == old {
-			p.exact[pair] = new
+	if n == 0 {
+		return 0 // nothing matched; keep the published view
+	}
+	entries := make([]spdEntry, len(v.entries))
+	copy(entries, v.entries)
+	for i := range entries {
+		if entries[i].sa == old {
+			entries[i].sa = new
 		}
 	}
+	p.cur.Store(rebuildSPDView(entries))
 	return n
 }
 
 // Remove deletes every entry whose SA has the given SPI, returning how many
-// were removed. The host-route index and the scan-all flag are rebuilt from
-// the surviving entries, so first-match-wins semantics are preserved — and a
-// removal that takes out the only non-host selector restores O(1) lookups.
+// were removed. The published view is rebuilt from the surviving entries,
+// so first-match-wins semantics are preserved — and a removal that takes
+// out the only non-host selector restores O(1) lookups.
 func (p *SPD) Remove(spi uint32) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	kept := p.entries[:0]
+	v := p.view()
+	kept := make([]spdEntry, 0, len(v.entries))
 	n := 0
-	for _, e := range p.entries {
+	for _, e := range v.entries {
 		if e.sa.SPI() == spi {
 			n++
 			continue
@@ -225,49 +312,32 @@ func (p *SPD) Remove(spi uint32) int {
 	if n == 0 {
 		return 0
 	}
-	// Zero the removed tail so the dropped SAs are collectable.
-	for i := len(kept); i < len(p.entries); i++ {
-		p.entries[i] = spdEntry{}
-	}
-	p.entries = kept
-	p.scanAll = false
-	p.exact = make(map[hostPair]*OutboundSA)
-	for _, e := range p.entries {
-		if !p.scanAll && e.sel.Src.IsSingleIP() && e.sel.Dst.IsSingleIP() {
-			pair := hostPair{src: e.sel.Src.Addr(), dst: e.sel.Dst.Addr()}
-			if _, dup := p.exact[pair]; !dup {
-				p.exact[pair] = e.sa
-			}
-		} else {
-			p.scanAll = true
-			p.exact = nil
-		}
-	}
+	p.cur.Store(rebuildSPDView(kept))
 	return n
 }
 
 // Range calls fn for each policy entry in order until fn returns false,
-// holding the database read lock throughout — the iteration a control plane
-// needs to export the policy table (e.g. for a standby's mirror).
+// iterating a consistent published snapshot without blocking writers — the
+// iteration a control plane needs to export the policy table (e.g. for a
+// standby's mirror).
 func (p *SPD) Range(fn func(Selector, *OutboundSA) bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	for _, e := range p.entries {
+	for _, e := range p.view().entries {
 		if !fn(e.sel, e.sa) {
 			return
 		}
 	}
 }
 
-// Lookup returns the first SA whose selector covers (src, dst).
+// Lookup returns the first SA whose selector covers (src, dst). It is
+// wait-free: one atomic view load, then a hash probe (all-host-route
+// tables) or the ordered scan.
 func (p *SPD) Lookup(src, dst netip.Addr) (*OutboundSA, bool) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if !p.scanAll {
-		sa, ok := p.exact[hostPair{src: src, dst: dst}]
+	v := p.view()
+	if !v.scanAll {
+		sa, ok := v.exact[hostPair{src: src, dst: dst}]
 		return sa, ok
 	}
-	for _, e := range p.entries {
+	for _, e := range v.entries {
 		if e.sel.Matches(src, dst) {
 			return e.sa, true
 		}

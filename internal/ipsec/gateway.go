@@ -176,11 +176,26 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	return g, nil
 }
 
+const hexDigits = "0123456789abcdef"
+
+// spiKey builds "<dir>/<spi as %08x>" with a fixed-width hex encoder: one
+// string allocation, no fmt machinery. The byte layout is pinned by
+// TestKeyFormatCompat — these strings are on-disk journal keys, so existing
+// journals must replay under exactly the same names forever.
+func spiKey(dir string, spi uint32) string {
+	var b [11]byte
+	copy(b[:3], dir)
+	for i := 0; i < 8; i++ {
+		b[3+i] = hexDigits[(spi>>(28-4*i))&0xf]
+	}
+	return string(b[:])
+}
+
 // OutboundKey is the journal key of an outbound SA's counter.
-func OutboundKey(spi uint32) string { return fmt.Sprintf("tx/%08x", spi) }
+func OutboundKey(spi uint32) string { return spiKey("tx/", spi) }
 
 // InboundKey is the journal key of an inbound SA's window edge.
-func InboundKey(spi uint32) string { return fmt.Sprintf("rx/%08x", spi) }
+func InboundKey(spi uint32) string { return spiKey("rx/", spi) }
 
 // buildOutbound claims the journal cell for spi and constructs the SA over
 // a resilient sender, resuming through the paper's wake-up when the cell
@@ -446,10 +461,38 @@ func (g *Gateway) Seal(src, dst netip.Addr, payload []byte) ([]byte, error) {
 	return g.spd.Seal(src, dst, payload)
 }
 
+// SealAppend routes payload through the SPD and seals it on the matching SA,
+// appending the wire bytes to buf (OutboundSA.SealAppend): the gateway-level
+// zero-allocation send path — the SPD lookup is one atomic snapshot load and
+// the seal reuses pooled crypto state and the caller's buffer.
+func (g *Gateway) SealAppend(buf []byte, src, dst netip.Addr, payload []byte) ([]byte, error) {
+	sa, ok := g.spd.Lookup(src, dst)
+	if !ok {
+		return buf, fmt.Errorf("%w: %v -> %v", ErrNoPolicy, src, dst)
+	}
+	return sa.SealAppend(buf, payload)
+}
+
 // Open routes wire bytes through the SAD and opens them on the SA named by
 // their SPI.
 func (g *Gateway) Open(wire []byte) ([]byte, core.Verdict, error) {
 	return g.sad.Open(wire)
+}
+
+// OpenAppend routes wire bytes through the SAD and opens them on the SA
+// named by their SPI, appending the payload to buf (InboundSA.OpenAppend):
+// the gateway-level zero-allocation receive path. On delivery the payload
+// is out[len(buf):]; on any other outcome out retains buf's length.
+func (g *Gateway) OpenAppend(buf []byte, wire []byte) (out []byte, v core.Verdict, err error) {
+	spi, err := ParseSPI(wire)
+	if err != nil {
+		return buf, 0, err
+	}
+	sa, ok := g.sad.Lookup(spi)
+	if !ok {
+		return buf, 0, fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
+	}
+	return sa.OpenAppend(buf, wire)
 }
 
 // SealBatch routes a burst of payloads for one (src, dst) flow through a
@@ -467,59 +510,117 @@ func (g *Gateway) SealBatch(src, dst netip.Addr, payloads [][]byte) ([][]byte, e
 	return sa.SealBatch(payloads)
 }
 
+// verifyScratch is the reusable grouping state of one gateway VerifyBatch
+// call; pooled so steady-state batch verification allocates nothing beyond
+// what the caller provides. None of its slices are referenced by results.
+type verifyScratch struct {
+	spis    []uint32
+	grouped []bool
+	batch   [][]byte
+	idx     []int
+	res     []VerifyResult
+}
+
+var verifyScratchPool = sync.Pool{New: func() any { return new(verifyScratch) }}
+
+// fit readies the scratch for a burst of n packets.
+func (s *verifyScratch) fit(n int) {
+	if cap(s.spis) < n {
+		s.spis = make([]uint32, n)
+		s.grouped = make([]bool, n)
+		s.batch = make([][]byte, 0, n)
+		s.idx = make([]int, 0, n)
+		s.res = make([]VerifyResult, n)
+	}
+	s.spis = s.spis[:n]
+	s.grouped = s.grouped[:n]
+	for j := range s.grouped {
+		s.grouped[j] = false
+	}
+	s.res = s.res[:n]
+}
+
+// release clears every buffer reference — results AND the regrouped wire
+// slices — and returns the scratch to the pool, so a pooled scratch never
+// keeps a past burst's packet buffers alive.
+func (s *verifyScratch) release() {
+	for j := range s.res {
+		s.res[j] = VerifyResult{}
+	}
+	s.batch = s.batch[:cap(s.batch)]
+	for j := range s.batch {
+		s.batch[j] = nil
+	}
+	s.batch = s.batch[:0]
+	verifyScratchPool.Put(s)
+}
+
 // VerifyBatch verifies a burst of inbound packets, amortizing SAD lookups
 // and SA counter updates across the burst: packets are grouped by SPI (one
 // lookup per SA, preserving each SA's arrival order) and handed to
-// InboundSA.VerifyBatch. Results are positional: out[j] corresponds to
+// InboundSA.VerifyBatchInto. Results are positional: out[j] corresponds to
 // wires[j]. Bursts from a NIC queue typically hit a handful of SAs, so a
-// 64-packet batch costs a few lookups instead of 64.
+// 64-packet batch costs a few lookups instead of 64. The burst's results
+// and payloads cost two allocations; VerifyBatchInto reuses caller storage
+// and allocates nothing.
 func (g *Gateway) VerifyBatch(wires [][]byte) []VerifyResult {
 	out := make([]VerifyResult, len(wires))
 	if len(wires) == 0 {
 		return out
 	}
-	// Group by SPI with flat scratch slices instead of a map: bursts
-	// typically span a handful of SAs, so the linear rescan per distinct
-	// SPI is cheap and the grouping costs four fixed allocations.
-	spis := make([]uint32, len(wires))
-	grouped := make([]bool, len(wires))
-	batch := make([][]byte, 0, len(wires))
-	idx := make([]int, 0, len(wires))
+	g.VerifyBatchInto(out, make([]byte, 0, arenaCap(wires)), wires)
+	return out
+}
+
+// VerifyBatchInto is VerifyBatch writing results into out (len(out) must be
+// at least len(wires)) and appending delivered payloads into the arena buf,
+// which is returned; each result's Payload aliases the arena. Grouping
+// scratch is pooled, so with reused out and buf of sufficient capacity a
+// steady-state call performs zero allocations.
+func (g *Gateway) VerifyBatchInto(out []VerifyResult, buf []byte, wires [][]byte) []byte {
+	if len(wires) == 0 {
+		return buf
+	}
+	s := verifyScratchPool.Get().(*verifyScratch)
+	s.fit(len(wires))
 	for j, wire := range wires {
 		spi, err := ParseSPI(wire)
 		if err != nil {
-			out[j].Err = err
-			grouped[j] = true
+			out[j] = VerifyResult{Err: err}
+			s.grouped[j] = true
 			continue
 		}
-		spis[j] = spi
+		s.spis[j] = spi
 	}
 	for j := range wires {
-		if grouped[j] {
+		if s.grouped[j] {
 			continue
 		}
-		spi := spis[j]
-		batch, idx = batch[:0], idx[:0]
+		spi := s.spis[j]
+		s.batch, s.idx = s.batch[:0], s.idx[:0]
 		for k := j; k < len(wires); k++ {
-			if !grouped[k] && spis[k] == spi {
-				grouped[k] = true
-				batch = append(batch, wires[k])
-				idx = append(idx, k)
+			if !s.grouped[k] && s.spis[k] == spi {
+				s.grouped[k] = true
+				s.batch = append(s.batch, wires[k])
+				s.idx = append(s.idx, k)
 			}
 		}
 		sa, ok := g.sad.Lookup(spi)
 		if !ok {
 			err := fmt.Errorf("%w: %#x", ErrUnknownSPI, spi)
-			for _, k := range idx {
-				out[k].Err = err
+			for _, k := range s.idx {
+				out[k] = VerifyResult{Err: err}
 			}
 			continue
 		}
-		for k, res := range sa.VerifyBatch(batch) {
-			out[idx[k]] = res
+		res := s.res[:len(s.batch)]
+		buf = sa.VerifyBatchInto(res, buf, s.batch)
+		for k, r := range res {
+			out[s.idx[k]] = r
 		}
 	}
-	return out
+	s.release()
+	return buf
 }
 
 // SAD exposes the inbound database.

@@ -29,9 +29,13 @@ import (
 	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"slices"
+	"sync"
 )
 
 // Sentinel errors.
@@ -93,66 +97,121 @@ func (k KeyMaterial) Validate() error {
 	return nil
 }
 
-// seal computes the wire bytes for (spi, seq64, payload).
-func seal(keys KeyMaterial, spi uint32, seq64 uint64, payload []byte) ([]byte, error) {
-	body := make([]byte, len(payload))
-	copy(body, payload)
-	if len(keys.EncKey) > 0 {
-		if err := ctrXOR(keys.EncKey, spi, seq64, body); err != nil {
-			return nil, err
+// cryptoState is the reusable scratch for one in-flight seal or open: a
+// keyed HMAC instance, the SA's expanded AES block, and fixed buffers for
+// the MAC sum and the CTR keystream. States are pooled per SA (cryptoPool),
+// so steady-state datapath crypto performs no allocation — the classic
+// "expand keys once, never allocate per packet" shape of kernel IPsec
+// implementations.
+type cryptoState struct {
+	mac hash.Hash    // HMAC-SHA256 keyed with the SA's auth key
+	blk cipher.Block // AES-128 block keyed with the SA's enc key; nil if none
+	hdr [12]byte     // MAC header scratch (kept here so it never escapes)
+	sum [sha256.Size]byte
+	ctr [aes.BlockSize]byte
+	ks  [aes.BlockSize]byte
+}
+
+// cryptoPool hands out cryptoStates for one SA's immutable KeyMaterial.
+type cryptoPool struct {
+	p sync.Pool
+}
+
+// newCryptoPool builds the pool; keys must already be validated.
+func newCryptoPool(keys KeyMaterial) *cryptoPool {
+	cp := &cryptoPool{}
+	cp.p.New = func() any {
+		st := &cryptoState{mac: hmac.New(sha256.New, keys.AuthKey)}
+		if len(keys.EncKey) > 0 {
+			blk, err := aes.NewCipher(keys.EncKey)
+			if err != nil {
+				// Validate() pinned the key length; aes.NewCipher cannot
+				// fail on a validated key.
+				panic(fmt.Sprintf("ipsec: aes: %v", err))
+			}
+			st.blk = blk
 		}
+		return st
 	}
-	out := make([]byte, headerLen+len(body)+icvLen)
+	return cp
+}
+
+func (cp *cryptoPool) get() *cryptoState   { return cp.p.Get().(*cryptoState) }
+func (cp *cryptoPool) put(st *cryptoState) { cp.p.Put(st) }
+
+// icvInto computes the HMAC-SHA256-96 ICV over SPI || seq64 || body into the
+// state's sum buffer, returning the truncated slice (valid until the next
+// icvInto on the same state).
+func (st *cryptoState) icvInto(spi uint32, seq64 uint64, body []byte) []byte {
+	st.mac.Reset()
+	binary.BigEndian.PutUint32(st.hdr[0:4], spi)
+	binary.BigEndian.PutUint64(st.hdr[4:12], seq64)
+	st.mac.Write(st.hdr[:])
+	st.mac.Write(body)
+	return st.mac.Sum(st.sum[:0])[:icvLen]
+}
+
+// ctrXOR applies AES-CTR in place with a nonce derived from (spi, seq64),
+// block by block through the state's cached cipher. Byte-identical to
+// cipher.NewCTR over the same IV for any packet shorter than 2^32 blocks
+// (the stdlib CTR carries into byte 11 only past a 64GiB keystream).
+func (st *cryptoState) ctrXOR(spi uint32, seq64 uint64, data []byte) {
+	binary.BigEndian.PutUint32(st.ctr[0:4], spi)
+	binary.BigEndian.PutUint64(st.ctr[4:12], seq64)
+	var ctr32 uint32
+	for i := 0; i < len(data); i += aes.BlockSize {
+		binary.BigEndian.PutUint32(st.ctr[12:16], ctr32)
+		ctr32++
+		st.blk.Encrypt(st.ks[:], st.ctr[:])
+		n := len(data) - i
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		subtle.XORBytes(data[i:i+n], data[i:i+n], st.ks[:n])
+	}
+}
+
+// sealAppendState appends the wire bytes for (spi, seq64, payload) to dst
+// using pooled crypto scratch. It allocates only when dst lacks capacity.
+func sealAppendState(cp *cryptoPool, spi uint32, seq64 uint64, payload, dst []byte) []byte {
+	st := cp.get()
+	start := len(dst)
+	n := headerLen + len(payload) + icvLen
+	dst = slices.Grow(dst, n)[:start+n]
+	out := dst[start:]
 	binary.BigEndian.PutUint32(out[0:4], spi)
 	binary.BigEndian.PutUint32(out[4:8], uint32(seq64))
-	copy(out[headerLen:], body)
-	icv := computeICV(keys.AuthKey, spi, seq64, body)
-	copy(out[headerLen+len(body):], icv)
-	return out, nil
+	body := out[headerLen : headerLen+len(payload)]
+	copy(body, payload)
+	if st.blk != nil {
+		st.ctrXOR(spi, seq64, body)
+	}
+	copy(out[headerLen+len(payload):], st.icvInto(spi, seq64, body))
+	cp.put(st)
+	return dst
 }
 
-// open verifies and decrypts wire bytes given the reconstructed seq64.
-func open(keys KeyMaterial, spi uint32, seq64 uint64, wire []byte) ([]byte, error) {
+// openAppendState verifies wire bytes given the reconstructed seq64 and
+// appends the decrypted payload to dst, using pooled crypto scratch. On
+// error dst is returned unchanged.
+func openAppendState(cp *cryptoPool, spi uint32, seq64 uint64, wire, dst []byte) ([]byte, error) {
+	st := cp.get()
 	body := wire[headerLen : len(wire)-icvLen]
-	want := computeICV(keys.AuthKey, spi, seq64, body)
+	want := st.icvInto(spi, seq64, body)
 	got := wire[len(wire)-icvLen:]
 	if !hmac.Equal(want, got) {
-		return nil, ErrAuth
+		cp.put(st)
+		return dst, ErrAuth
 	}
-	payload := make([]byte, len(body))
+	start := len(dst)
+	dst = slices.Grow(dst, len(body))[:start+len(body)]
+	payload := dst[start:]
 	copy(payload, body)
-	if len(keys.EncKey) > 0 {
-		if err := ctrXOR(keys.EncKey, spi, seq64, payload); err != nil {
-			return nil, err
-		}
+	if st.blk != nil {
+		st.ctrXOR(spi, seq64, payload)
 	}
-	return payload, nil
-}
-
-// computeICV returns HMAC-SHA256 truncated to 96 bits over the SPI, the
-// full 64-bit sequence number (ESN-style implicit high half), and the body.
-func computeICV(authKey []byte, spi uint32, seq64 uint64, body []byte) []byte {
-	mac := hmac.New(sha256.New, authKey)
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:4], spi)
-	binary.BigEndian.PutUint64(hdr[4:12], seq64)
-	mac.Write(hdr[:])
-	mac.Write(body)
-	return mac.Sum(nil)[:icvLen]
-}
-
-// ctrXOR applies AES-CTR in place with a nonce derived from (spi, seq64).
-func ctrXOR(key []byte, spi uint32, seq64 uint64, data []byte) error {
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return fmt.Errorf("ipsec: aes: %w", err)
-	}
-	var iv [aes.BlockSize]byte
-	binary.BigEndian.PutUint32(iv[0:4], spi)
-	binary.BigEndian.PutUint64(iv[4:12], seq64)
-	// iv[12:16] is the CTR counter, starting at 0.
-	cipher.NewCTR(block, iv[:]).XORKeyStream(data, data)
-	return nil
+	cp.put(st)
+	return dst, nil
 }
 
 // ParseSPI extracts the SPI from wire bytes without validating the rest.

@@ -9,6 +9,7 @@ import (
 
 	"antireplay/internal/core"
 	"antireplay/internal/seqwin"
+	"antireplay/internal/stats"
 )
 
 // sub decrements an atomic counter by d (Add with two's complement).
@@ -60,13 +61,14 @@ func (s LifetimeState) String() string {
 // per-packet counters are atomics, so concurrent Seals serialize only on
 // the sender's own sequence allocation.
 type OutboundSA struct {
-	spi  uint32
-	keys KeyMaterial
-	seq  *core.Sender
-	esn  bool
-	life Lifetime
-	now  func() time.Duration
-	born time.Duration
+	spi    uint32
+	keys   KeyMaterial
+	crypto *cryptoPool
+	seq    *core.Sender
+	esn    bool
+	life   Lifetime
+	now    func() time.Duration
+	born   time.Duration
 
 	// lineage: generation number within a rekey chain and the SPI of the
 	// predecessor generation (0 = first generation). Written once, by the
@@ -91,7 +93,10 @@ func NewOutboundSA(spi uint32, keys KeyMaterial, sender *core.Sender, esn bool, 
 	if sender == nil {
 		return nil, fmt.Errorf("%w: nil sender", core.ErrConfig)
 	}
-	o := &OutboundSA{spi: spi, keys: keys, seq: sender, esn: esn, life: life, now: clockOrZero(clock)}
+	o := &OutboundSA{
+		spi: spi, keys: keys, crypto: newCryptoPool(keys),
+		seq: sender, esn: esn, life: life, now: clockOrZero(clock),
+	}
 	o.born = o.now()
 	return o, nil
 }
@@ -165,41 +170,58 @@ func (o *OutboundSA) unreserve(n uint64) {
 	sub(&o.packets, 1)
 }
 
-// sealSeq validates seq64 against the 32-bit wire wrap and seals.
-func (o *OutboundSA) sealSeq(seq64 uint64, payload []byte) ([]byte, error) {
+// sealSeqAppend validates seq64 against the 32-bit wire wrap and appends the
+// sealed wire bytes to dst; on error dst is returned unchanged.
+func (o *OutboundSA) sealSeqAppend(dst []byte, seq64 uint64, payload []byte) ([]byte, error) {
 	if !o.esn && seq64 > math.MaxUint32 {
 		// RFC 4303 §3.3.3: without ESN the sender MUST NOT let the sequence
 		// number cycle — reusing a wire number would also reuse the CTR
 		// nonce. The SA is permanently exhausted; rekey to continue.
-		return nil, fmt.Errorf("%w: sequence %d exceeds the 32-bit wire space", ErrSeqExhausted, seq64)
+		return dst, fmt.Errorf("%w: sequence %d exceeds the 32-bit wire space", ErrSeqExhausted, seq64)
 	}
-	return seal(o.keys, o.spi, seq64, payload)
+	return sealAppendState(o.crypto, o.spi, seq64, payload, dst), nil
 }
 
 // Seal encapsulates payload, assigning the next sequence number. It fails
 // with core.ErrDown / core.ErrWaking while the endpoint cannot send,
 // ErrHardExpired past the hard lifetime, ErrSeqExhausted when a non-ESN SA
 // has consumed the whole 32-bit sequence space, and ErrDraining once a
-// rekey has cut traffic over to the SA's successor.
+// rekey has cut traffic over to the SA's successor. Each call allocates the
+// returned wire; the steady-state datapath form is SealAppend, which reuses
+// a caller buffer and allocates nothing.
 func (o *OutboundSA) Seal(payload []byte) ([]byte, error) {
+	wire, err := o.SealAppend(make([]byte, 0, len(payload)+Overhead), payload)
+	if err != nil {
+		return nil, err
+	}
+	return wire, nil
+}
+
+// SealAppend is Seal appending the wire bytes to dst instead of allocating:
+// the sealed packet is dst[len(dst):] of the returned slice. With a reused
+// dst of sufficient capacity a steady-state SealAppend performs zero
+// allocations — sequence reservation is atomic, the AES key schedule and
+// HMAC state are pooled per SA, and the wire is built in place. On error
+// dst is returned unchanged.
+func (o *OutboundSA) SealAppend(dst []byte, payload []byte) ([]byte, error) {
 	if o.draining.Load() {
-		return nil, fmt.Errorf("%w: %#x", ErrDraining, o.spi)
+		return dst, fmt.Errorf("%w: %#x", ErrDraining, o.spi)
 	}
 	wireLen := uint64(len(payload)) + Overhead
 	if err := o.reserve(wireLen); err != nil {
-		return nil, err
+		return dst, err
 	}
 	seq64, err := o.seq.Next()
 	if err != nil {
 		o.unreserve(wireLen)
-		return nil, err
+		return dst, err
 	}
-	wire, err := o.sealSeq(seq64, payload)
+	out, err := o.sealSeqAppend(dst, seq64, payload)
 	if err != nil {
 		o.unreserve(wireLen)
-		return nil, err
+		return dst, err
 	}
-	return wire, nil
+	return out, nil
 }
 
 // SealBatch seals a burst of payloads, reserving all their sequence numbers
@@ -237,9 +259,18 @@ func (o *OutboundSA) SealBatch(payloads [][]byte) ([][]byte, error) {
 			err = core.ErrSaveLag // NextN truncated the grant at the horizon
 		}
 	}
+	// One arena backs the whole burst (two allocations per batch instead of
+	// one per packet); its capacity is exact, so the per-packet appends
+	// never reallocate and the returned wires stay valid.
+	var arenaCap int
+	for _, p := range payloads[:n] {
+		arenaCap += len(p) + Overhead
+	}
+	arena := make([]byte, 0, arenaCap)
 	wires := make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
-		wire, serr := o.sealSeq(first+uint64(i), payloads[i])
+		mark := len(arena)
+		arena2, serr := o.sealSeqAppend(arena, first+uint64(i), payloads[i])
 		if serr != nil {
 			// Roll back the unsealed tail (the reserved numbers are burned,
 			// but the bytes were never sent).
@@ -251,7 +282,8 @@ func (o *OutboundSA) SealBatch(payloads [][]byte) ([][]byte, error) {
 			sub(&o.packets, uint64(n-i))
 			return wires, serr
 		}
-		wires = append(wires, wire)
+		arena = arena2
+		wires = append(wires, arena[mark:])
 	}
 	return wires, err
 }
@@ -285,14 +317,16 @@ func (r VerifyResult) Delivered() bool { return r.Err == nil && r.Verdict.Delive
 // concurrent use; with a fast-path receiver (ipsec.Gateway's default)
 // concurrent Opens do not serialize on any SA-wide lock.
 type InboundSA struct {
-	spi    uint32
-	keys   KeyMaterial
-	replay *core.Receiver
-	esn    bool
-	winW   int // receiver window width, immutable
-	life   Lifetime
-	now    func() time.Duration
-	born   time.Duration
+	spi     uint32
+	keys    KeyMaterial
+	crypto  *cryptoPool
+	replay  *core.Receiver
+	esn     bool
+	winW    int  // receiver window width, immutable
+	hasLife bool // any lifetime bound set; false skips per-packet checks
+	life    Lifetime
+	now     func() time.Duration
+	born    time.Duration
 
 	// lineage: see OutboundSA. An inbound SA keeps verifying while
 	// draining — the whole point of the drain window is that in-flight
@@ -302,10 +336,14 @@ type InboundSA struct {
 	prevSPI    uint32
 	draining   atomic.Bool
 
-	bytes     atomic.Uint64
-	packets   atomic.Uint64
-	authFails atomic.Uint64
-	replays   atomic.Uint64
+	// Per-packet tallies are sharded so a many-queue gateway's counters do
+	// not serialize its admission path on one cache line. (The outbound
+	// byte counter stays a single atomic: hard-lifetime reservation CASes
+	// it, which a sharded counter cannot do.)
+	bytes     stats.ShardedCounter
+	packets   stats.ShardedCounter
+	authFails stats.ShardedCounter
+	replays   stats.ShardedCounter
 }
 
 // NewInboundSA builds an inbound SA. receiver provides the anti-replay
@@ -318,8 +356,9 @@ func NewInboundSA(spi uint32, keys KeyMaterial, receiver *core.Receiver, esn boo
 		return nil, fmt.Errorf("%w: nil receiver", core.ErrConfig)
 	}
 	i := &InboundSA{
-		spi: spi, keys: keys, replay: receiver, esn: esn,
-		winW: receiver.W(), life: life, now: clockOrZero(clock),
+		spi: spi, keys: keys, crypto: newCryptoPool(keys), replay: receiver,
+		esn: esn, winW: receiver.W(), hasLife: life != Lifetime{},
+		life: life, now: clockOrZero(clock),
 	}
 	i.born = i.now()
 	return i, nil
@@ -354,8 +393,11 @@ func (i *InboundSA) BeginDrain() { i.draining.Store(true) }
 // Draining reports whether BeginDrain has marked the SA.
 func (i *InboundSA) Draining() bool { return i.draining.Load() }
 
-// verifyOne parses, authenticates, and admits one packet without touching
-// the SA counters (callers account singly or per batch).
+// verifyOneInto parses, authenticates, and admits one packet without
+// touching the SA counters (callers account singly or per batch). A
+// delivered payload is appended to dst (the result's Payload aliases the
+// returned slice); on any other outcome the returned slice has dst's
+// original length.
 //
 // With ESN the 64-bit sequence number is inferred from a single edge
 // snapshot taken immediately before the ICV check. A concurrent Open can
@@ -366,13 +408,13 @@ func (i *InboundSA) Draining() bool { return i.draining.Load() }
 // yields a different number. The admission itself needs no snapshot
 // consistency: it admits the authenticated 64-bit value, which no longer
 // depends on the edge.
-func (i *InboundSA) verifyOne(wire []byte) VerifyResult {
+func (i *InboundSA) verifyOneInto(dst []byte, wire []byte) (VerifyResult, []byte) {
 	if len(wire) < headerLen+icvLen {
-		return VerifyResult{Err: fmt.Errorf("%w: %d bytes", ErrShortPacket, len(wire))}
+		return VerifyResult{Err: fmt.Errorf("%w: %d bytes", ErrShortPacket, len(wire))}, dst
 	}
 	spi, _ := ParseSPI(wire)
 	if spi != i.spi {
-		return VerifyResult{Err: fmt.Errorf("%w: packet SPI %#x, SA SPI %#x", ErrUnknownSPI, spi, i.spi)}
+		return VerifyResult{Err: fmt.Errorf("%w: packet SPI %#x, SA SPI %#x", ErrUnknownSPI, spi, i.spi)}, dst
 	}
 	lo, _ := ParseSeqLo(wire)
 	seq64 := uint64(lo)
@@ -381,38 +423,56 @@ func (i *InboundSA) verifyOne(wire []byte) VerifyResult {
 		edge = i.replay.Edge()
 		seq64 = seqwin.InferESN(edge, lo, i.winW)
 	}
-	payload, err := open(i.keys, i.spi, seq64, wire)
+	mark := len(dst)
+	out, err := openAppendState(i.crypto, i.spi, seq64, wire, dst)
 	if err != nil && i.esn {
 		if e2 := i.replay.Edge(); e2 != edge {
 			if s2 := seqwin.InferESN(e2, lo, i.winW); s2 != seq64 {
-				if p2, err2 := open(i.keys, i.spi, s2, wire); err2 == nil {
-					payload, err, seq64 = p2, nil, s2
+				if out2, err2 := openAppendState(i.crypto, i.spi, s2, wire, dst); err2 == nil {
+					out, err, seq64 = out2, nil, s2
 				}
 			}
 		}
 	}
 	if err != nil {
-		return VerifyResult{Err: err}
+		return VerifyResult{Err: err}, dst
 	}
 	verdict := i.replay.Admit(seq64)
 	if !verdict.Delivered() {
-		return VerifyResult{Verdict: verdict}
+		// Drop the decrypted bytes: the caller's arena length is restored,
+		// so rejected packets cost no arena space.
+		return VerifyResult{Verdict: verdict}, dst
 	}
-	return VerifyResult{Payload: payload, Verdict: verdict}
+	return VerifyResult{Payload: out[mark:], Verdict: verdict}, out
 }
 
 // Open verifies wire bytes and returns the payload. The verdict reports the
 // anti-replay decision; payload is non-nil only when verdict.Delivered().
 // Following RFC 4303 the ICV is verified before the window is updated, so
 // forged traffic cannot move the window; replayed-but-authentic traffic is
-// then rejected by the window.
+// then rejected by the window. Each delivered payload is freshly allocated;
+// the steady-state datapath form is OpenAppend.
 func (i *InboundSA) Open(wire []byte) ([]byte, core.Verdict, error) {
-	if i.State() == LifetimeHard {
+	if i.hasLife && i.State() == LifetimeHard {
 		return nil, 0, ErrHardExpired
 	}
-	res := i.verifyOne(wire)
+	res, _ := i.verifyOneInto(nil, wire)
 	i.account(wire, res)
 	return res.Payload, res.Verdict, res.Err
+}
+
+// OpenAppend is Open appending the decrypted payload to dst instead of
+// allocating: on delivery the payload is out[len(dst):] of the returned
+// slice; on any other outcome out retains dst's length. With a reused dst
+// of sufficient capacity a steady-state OpenAppend performs zero
+// allocations.
+func (i *InboundSA) OpenAppend(dst []byte, wire []byte) (out []byte, v core.Verdict, err error) {
+	if i.hasLife && i.State() == LifetimeHard {
+		return dst, 0, ErrHardExpired
+	}
+	res, out := i.verifyOneInto(dst, wire)
+	i.account(wire, res)
+	return out, res.Verdict, res.Err
 }
 
 // account updates the SA counters for one verified (or rejected) packet.
@@ -435,20 +495,48 @@ func (i *InboundSA) account(wire []byte, res VerifyResult) {
 // — the inbound analogue of SealBatch. Results are positional: out[j]
 // corresponds to wires[j]. Lifetime enforcement is batch-granular: a batch
 // admitted at its start runs to completion even if it crosses HardBytes.
+// The burst's payloads share one allocation; VerifyBatchInto reuses
+// caller-provided storage and allocates nothing.
 func (i *InboundSA) VerifyBatch(wires [][]byte) []VerifyResult {
 	out := make([]VerifyResult, len(wires))
 	if len(wires) == 0 {
 		return out
 	}
-	if i.State() == LifetimeHard {
-		for j := range out {
-			out[j].Err = ErrHardExpired
+	i.VerifyBatchInto(out, make([]byte, 0, arenaCap(wires)), wires)
+	return out
+}
+
+// arenaCap sizes a payload arena for a burst: the sum of the bursts'
+// maximum payload lengths.
+func arenaCap(wires [][]byte) int {
+	var n int
+	for _, w := range wires {
+		if len(w) > Overhead {
+			n += len(w) - Overhead
 		}
-		return out
+	}
+	return n
+}
+
+// VerifyBatchInto is VerifyBatch writing results into out (len(out) must be
+// at least len(wires); extra entries are untouched) and appending delivered
+// payloads into the arena buf, which is returned. Each result's Payload
+// aliases the arena. With reused out and buf of sufficient capacity a
+// steady-state VerifyBatchInto performs zero allocations.
+func (i *InboundSA) VerifyBatchInto(out []VerifyResult, buf []byte, wires [][]byte) []byte {
+	if len(wires) == 0 {
+		return buf
+	}
+	if i.hasLife && i.State() == LifetimeHard {
+		for j := range wires {
+			out[j] = VerifyResult{Err: ErrHardExpired}
+		}
+		return buf
 	}
 	var bytes, packets, authFails, replays uint64
 	for j, wire := range wires {
-		res := i.verifyOne(wire)
+		res, buf2 := i.verifyOneInto(buf, wire)
+		buf = buf2
 		out[j] = res
 		switch {
 		case res.Err != nil:
@@ -475,17 +563,20 @@ func (i *InboundSA) VerifyBatch(wires [][]byte) []VerifyResult {
 	if replays > 0 {
 		i.replays.Add(replays)
 	}
-	return out
+	return buf
 }
 
 // State classifies the SA's lifetime position.
 func (i *InboundSA) State() LifetimeState {
-	return lifetimeState(i.life, i.bytes.Load(), i.now()-i.born)
+	if !i.hasLife {
+		return LifetimeOK
+	}
+	return lifetimeState(i.life, i.bytes.Value(), i.now()-i.born)
 }
 
 // Counters returns (bytes, packets, authFailures, replayDiscards).
 func (i *InboundSA) Counters() (bytes, packets, authFails, replays uint64) {
-	return i.bytes.Load(), i.packets.Load(), i.authFails.Load(), i.replays.Load()
+	return i.bytes.Value(), i.packets.Value(), i.authFails.Value(), i.replays.Value()
 }
 
 func lifetimeState(l Lifetime, bytes uint64, age time.Duration) LifetimeState {

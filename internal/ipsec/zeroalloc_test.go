@@ -1,0 +1,179 @@
+package ipsec
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"antireplay/internal/core"
+	"antireplay/internal/raceflag"
+	"antireplay/internal/store"
+)
+
+// The steady-state datapath contract, pinned: SealAppend, OpenAppend, and
+// the gateway batch verify path allocate NOTHING per packet once their
+// reusable buffers have warmed up. CI runs these in the non-race test pass;
+// a regression here means a per-packet allocation crept back into the hot
+// path. (Skipped under -race: the detector's instrumentation allocates.)
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+}
+
+func newBenchOutbound(t testing.TB) *OutboundSA {
+	t.Helper()
+	var m store.Mem
+	snd, err := core.NewSender(core.SenderConfig{K: 1 << 30, Store: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewOutboundSA(0x1001, testKeys(true), snd, true, Lifetime{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa
+}
+
+func newBenchInbound(t testing.TB, spi uint32) *InboundSA {
+	t.Helper()
+	var m store.Mem
+	rcv, err := core.NewReceiver(core.ReceiverConfig{K: 1 << 30, W: 1024, Store: &m, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewInboundSA(spi, testKeys(true), rcv, true, Lifetime{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa
+}
+
+func TestZeroAllocSealAppend(t *testing.T) {
+	skipUnderRace(t)
+	sa := newBenchOutbound(t)
+	payload := make([]byte, 256)
+	buf := make([]byte, 0, 4096)
+	if got := testing.AllocsPerRun(500, func() {
+		out, err := sa.SealAppend(buf[:0], payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); got != 0 {
+		t.Errorf("SealAppend allocates %v per op, want 0", got)
+	}
+}
+
+func TestZeroAllocOpenAppend(t *testing.T) {
+	skipUnderRace(t)
+	out := newBenchOutbound(t)
+	in := newBenchInbound(t, 0x1001)
+	payload := make([]byte, 256)
+	buf := make([]byte, 0, 4096)
+	wires := make([][]byte, 600)
+	for i := range wires {
+		w, err := out.Seal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = w
+	}
+	i := 0
+	if got := testing.AllocsPerRun(500, func() {
+		res, _, err := in.OpenAppend(buf[:0], wires[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = res[:0]
+		i++
+	}); got != 0 {
+		t.Errorf("OpenAppend allocates %v per op, want 0", got)
+	}
+}
+
+func TestZeroAllocGatewayVerifyBatchInto(t *testing.T) {
+	skipUnderRace(t)
+	dir := t.TempDir()
+	j, err := store.OpenJournal(dir+"/j.log", store.JournalWithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	// K is huge so no background SAVE (which allocates in the saver pool)
+	// fires inside the measured window.
+	g, err := NewGateway(GatewayConfig{Journal: j, K: 1 << 30, W: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tx, err := g.AddOutbound(0x77, testKeys(true), Selector{
+		Src: netip.MustParsePrefix("10.0.0.1/32"),
+		Dst: netip.MustParsePrefix("10.0.1.1/32"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddInbound(0x77, testKeys(true)); err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 32
+	payload := make([]byte, 128)
+	batches := make([][][]byte, 600)
+	for b := range batches {
+		wires, err := tx.SealBatch(repeat(payload, burst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches[b] = wires
+	}
+	out := make([]VerifyResult, burst)
+	buf := make([]byte, 0, burst*(len(payload)+64))
+	b := 0
+	if got := testing.AllocsPerRun(500, func() {
+		buf = g.VerifyBatchInto(out, buf[:0], batches[b])
+		for j := range out[:burst] {
+			if !out[j].Delivered() {
+				t.Fatalf("batch %d packet %d not delivered: %+v", b, j, out[j])
+			}
+		}
+		b++
+	}); got != 0 {
+		t.Errorf("Gateway.VerifyBatchInto allocates %v per op (%d-packet burst), want 0", got, burst)
+	}
+}
+
+func repeat(p []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// TestKeyFormatCompat pins the exact journal key strings of SA counters.
+// These are on-disk names: an existing journal replays only if OutboundKey
+// and InboundKey produce byte-identical strings forever, so the fixed-width
+// hex encoder must match fmt.Sprintf("%s/%08x", ...) on every input shape.
+func TestKeyFormatCompat(t *testing.T) {
+	cases := []uint32{0, 1, 0xa, 0x10, 0xff, 0x1234, 0xabcdef, 0x00c0ffee, 0xdeadbeef, 0xffffffff}
+	for _, spi := range cases {
+		if got, want := OutboundKey(spi), fmt.Sprintf("tx/%08x", spi); got != want {
+			t.Errorf("OutboundKey(%#x) = %q, want %q", spi, got, want)
+		}
+		if got, want := InboundKey(spi), fmt.Sprintf("rx/%08x", spi); got != want {
+			t.Errorf("InboundKey(%#x) = %q, want %q", spi, got, want)
+		}
+	}
+	// The literal strings, pinned independently of Sprintf so a formatting
+	// change in either implementation is caught.
+	if got := OutboundKey(0x2a); got != "tx/0000002a" {
+		t.Errorf("OutboundKey(0x2a) = %q, want %q", got, "tx/0000002a")
+	}
+	if got := InboundKey(0xdeadbeef); got != "rx/deadbeef" {
+		t.Errorf("InboundKey(0xdeadbeef) = %q, want %q", got, "rx/deadbeef")
+	}
+}

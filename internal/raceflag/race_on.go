@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector instrumented this
+// build. Zero-allocation assertions skip under -race: the detector's
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the assertions would pin the tool, not the code.
+package raceflag
+
+// Enabled reports whether the build is race-instrumented.
+const Enabled = true

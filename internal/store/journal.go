@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,13 +28,34 @@ import (
 // the retired SA's counter). A reset that tears the last record leaves
 // every earlier record intact — exactly the persistent-memory property the
 // paper assumes of SAVE.
+//
+// Version 1 frames checksum with CRC-32 (IEEE); version 2 frames are
+// identical except the checksum is CRC-32C (Castagnoli), which commodity
+// x86/arm64 compute in hardware — the per-record CRC then costs a few
+// nanoseconds instead of a table walk, which matters at millions of saves
+// per second. New journals are created at version 2; a journal opened at
+// version 1 keeps appending (and compacting) version-1 frames forever, so
+// existing logs never mix checksum kinds.
 const (
 	journalMagic     = "ARJL"
-	journalVersion   = 1
+	journalVersion   = 2
+	journalVersion1  = 1
 	journalHeaderLen = 8
 	journalTombstone = 1 << 15
 	journalMaxKey    = journalTombstone - 1
 )
+
+// castagnoli is the CRC-32C table; crc32.Checksum with it uses the hardware
+// instruction where available.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// journalCRC returns the frame checksum for the given format version.
+func journalCRC(ver uint16, b []byte) uint32 {
+	if ver == journalVersion1 {
+		return crc32.ChecksumIEEE(b)
+	}
+	return crc32.Checksum(b, castagnoli)
+}
 
 // DefaultCompactAt is the log size, in bytes, at which a Journal compacts
 // itself to one record per key.
@@ -43,15 +65,26 @@ const DefaultCompactAt = 1 << 20
 // append-only, CRC-framed log file shared by every SA of a gateway, instead
 // of one file + one fsync stream per SA.
 //
-// Save appends a (key, value) record and group-commits: one fsync makes
-// every record appended since the previous fsync durable, so concurrent
-// SAVEs across SAs share the sync cost. Delete appends a tombstone the same
-// way, retiring a key when its SA is removed or rekeyed away. Recovery
-// (OpenJournal) replays the log in order — keeping the maximum value per
-// key since the key's last tombstone — tolerates a torn tail (the record a
-// reset interrupted fails its CRC and is discarded), and truncates the tail
-// away so appends resume from a clean frame. When the log outgrows a
-// threshold it is compacted to one record per live key (tombstoned keys
+// Save runs a pipelined group commit. The caller encodes its record frame
+// outside any lock (a stack buffer; appendRecord allocates nothing), then
+// holds the journal mutex only long enough to stage the frame — append its
+// bytes to the staging buffer, assign a commit sequence number, and update
+// the in-memory bookkeeping. The staged batch is drained by one elected
+// committer at a time: it swaps the staging buffer for a spare slab,
+// releases the mutex, and performs ONE write and ONE fsync for the whole
+// group while later savers keep staging the next batch concurrently.
+// Durability is acknowledged through a commit-sequence watermark (an atomic;
+// a record numbered n is durable once the watermark exceeds n), so the
+// commit pipeline — encode, stage, write+fsync, ack — keeps the per-record
+// critical section free of syscalls and allocations. Delete appends a
+// tombstone the same way, retiring a key when its SA is removed or rekeyed
+// away.
+//
+// Recovery (OpenJournal) replays the log in order — keeping the maximum
+// value per key since the key's last tombstone — tolerates a torn tail (the
+// record a reset interrupted fails its CRC and is discarded), and truncates
+// the tail away so appends resume from a clean frame. When the log outgrows
+// a threshold it is compacted to one record per live key (tombstoned keys
 // vanish) via the same write-temp + fsync + rename + dir-fsync dance File
 // uses.
 //
@@ -65,8 +98,8 @@ type Journal struct {
 	path string
 
 	// mu guards all mutable state below. It is released only inside
-	// cond.Wait and around the group-commit fsync itself, so appends stay
-	// serialized while syncs overlap them.
+	// cond.Wait and around the group-commit write+fsync itself, so staging
+	// stays cheap while commits overlap it.
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -79,24 +112,29 @@ type Journal struct {
 	ioErr    error // sticky append-path write error
 	fenceErr error // sticky cluster fence; appends refused (see Fence)
 
-	// Replication state (see tail.go). tailBuf retains the most recent
+	// Replication state (see tail.go). tail is a ring of the most recent
 	// records of the logical append stream — bounded by tailCap — so
-	// attached Tails can ship them; tailMin is the sequence number of
-	// tailBuf[0]. syncTail, when set, gates save acknowledgment on the
-	// follower's applied position.
+	// attached Tails can ship them; tailMin is the sequence number of the
+	// ring's first record. syncTail, when set, gates save acknowledgment on
+	// the follower's applied position.
 	tails    map[*Tail]bool
-	tailBuf  []TailRecord
+	tail     tailRing
 	tailMin  uint64
 	tailCap  int
 	syncTail *Tail
 
-	// Group-commit state. Every append gets a sequence number; a record
-	// with number n is durable once syncedSeq > n. One goroutine at a time
-	// becomes the syncer: it snapshots appendSeq, fsyncs, and advances
-	// syncedSeq to the snapshot, covering every append that preceded it.
+	// Commit-pipeline state. Every staged record gets a sequence number; a
+	// record numbered n is durable once syncedSeq (the commit watermark,
+	// readable with a single atomic load) exceeds n. stage accumulates the
+	// encoded frames of records not yet written; whoever finds no commit in
+	// flight becomes the committer: it swaps stage for the spare slab,
+	// snapshots appendSeq, writes and fsyncs the batch outside the mutex,
+	// and advances the watermark over everything it staged.
 	appendSeq uint64
-	syncedSeq uint64
-	syncing   bool
+	syncedSeq atomic.Uint64
+	stage     []byte
+	spare     []byte // the committer's double buffer, reused batch to batch
+	syncing   bool   // a committer owns the pipeline (write+fsync in flight)
 	failedSeq uint64
 	syncErr   error
 
@@ -105,11 +143,55 @@ type Journal struct {
 	compactAt      int64
 	batchDelay     time.Duration
 	strictRecovery bool
+	ver            uint16 // on-disk format version; fixes the frame CRC kind
 
 	// Counters.
 	appends     uint64
 	syncs       uint64
 	compactions uint64
+}
+
+// tailRing is a ring buffer of recent TailRecords: pushes are O(1) and the
+// periodic trim back to the retained window advances the head instead of
+// memmoving the survivors — the O(window) shift the old slice-based buffer
+// paid on every overflow. The backing slice is a power of two, grown on
+// demand until the configured window fits.
+type tailRing struct {
+	buf  []TailRecord // power-of-two length once allocated
+	head int          // index of the logical first record
+	n    int          // live records
+}
+
+func (r *tailRing) push(rec TailRecord) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = rec
+	r.n++
+}
+
+func (r *tailRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]TailRecord, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.at(i)
+	}
+	r.buf, r.head = buf, 0
+}
+
+func (r *tailRing) at(i int) TailRecord { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+// drop releases the k oldest records, zeroing them so their key strings are
+// collectable.
+func (r *tailRing) drop(k int) {
+	for i := 0; i < k; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = TailRecord{}
+	}
+	r.head = (r.head + k) & (len(r.buf) - 1)
+	r.n -= k
 }
 
 // JournalOption configures a Journal.
@@ -209,8 +291,11 @@ func (j *Journal) recover() error {
 	if string(data[0:4]) != journalMagic {
 		return fmt.Errorf("%w: journal magic %q", ErrCorrupt, data[0:4])
 	}
-	if ver := binary.BigEndian.Uint16(data[4:6]); ver != journalVersion {
-		return fmt.Errorf("%w: journal version %d, want %d", ErrCorrupt, ver, journalVersion)
+	switch ver := binary.BigEndian.Uint16(data[4:6]); ver {
+	case journalVersion1, journalVersion:
+		j.ver = ver // appends continue in the file's own frame format
+	default:
+		return fmt.Errorf("%w: journal version %d, want <= %d", ErrCorrupt, ver, journalVersion)
 	}
 
 	// Replay until the first frame that does not parse, which ends the
@@ -228,7 +313,7 @@ func (j *Journal) recover() error {
 	// is not a tail tear.
 	off := journalHeaderLen
 	for off < len(data) {
-		rec, n, ok := parseRecord(data[off:])
+		rec, n, ok := parseRecord(j.ver, data[off:])
 		if !ok {
 			if j.strictRecovery {
 				// The probe is byte-wise, so a corrupt length field in the
@@ -245,7 +330,7 @@ func (j *Journal) recover() error {
 					if probe+2+8+n2+4 > len(data) {
 						continue // incomplete frame: no CRC computed
 					}
-					if _, _, valid := parseRecord(data[probe:]); valid {
+					if _, _, valid := parseRecord(j.ver, data[probe:]); valid {
 						return fmt.Errorf("%w: journal record at offset %d (valid records follow)", ErrCorrupt, off)
 					}
 					budget -= int64(2 + 8 + n2 + 4)
@@ -301,9 +386,10 @@ func (j *Journal) create() error {
 	if err != nil {
 		return fmt.Errorf("store: journal create: %w", err)
 	}
+	j.ver = journalVersion
 	hdr := make([]byte, journalHeaderLen)
 	copy(hdr[0:4], journalMagic)
-	binary.BigEndian.PutUint16(hdr[4:6], journalVersion)
+	binary.BigEndian.PutUint16(hdr[4:6], j.ver)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("store: journal write header: %w", err)
@@ -340,9 +426,10 @@ const minRecordLen = 2 + 8 + 4
 // accounting exact across deletes.
 func frameLen(key string) int64 { return int64(2 + 8 + len(key) + 4) }
 
-// parseRecord decodes one frame from b, returning the record, its encoded
-// length, and whether the frame was complete and CRC-valid.
-func parseRecord(b []byte) (journalRecord, int, bool) {
+// parseRecord decodes one frame from b under the given format version,
+// returning the record, its encoded length, and whether the frame was
+// complete and CRC-valid.
+func parseRecord(ver uint16, b []byte) (journalRecord, int, bool) {
 	if len(b) < minRecordLen {
 		return journalRecord{}, 0, false
 	}
@@ -354,7 +441,7 @@ func parseRecord(b []byte) (journalRecord, int, bool) {
 	}
 	body := b[:2+8+n]
 	want := binary.BigEndian.Uint32(b[2+8+n : total])
-	if crc32.ChecksumIEEE(body) != want {
+	if journalCRC(ver, body) != want {
 		return journalRecord{}, 0, false
 	}
 	return journalRecord{
@@ -364,7 +451,7 @@ func parseRecord(b []byte) (journalRecord, int, bool) {
 	}, total, true
 }
 
-func appendRecord(buf []byte, key string, v uint64, del bool) []byte {
+func appendRecord(ver uint16, buf []byte, key string, v uint64, del bool) []byte {
 	start := len(buf)
 	lf := uint16(len(key))
 	if del {
@@ -373,7 +460,7 @@ func appendRecord(buf []byte, key string, v uint64, del bool) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, lf)
 	buf = binary.BigEndian.AppendUint64(buf, v)
 	buf = append(buf, key...)
-	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+	return binary.BigEndian.AppendUint32(buf, journalCRC(ver, buf[start:]))
 }
 
 // save appends a record for key and waits until it is durable (or, without
@@ -386,28 +473,42 @@ func (j *Journal) save(key string, v uint64) error { return j.append(key, v, fal
 // Deleting a key with no durable state is a no-op.
 func (j *Journal) delete(key string) error { return j.append(key, 0, true) }
 
-// append is the shared save/tombstone path; see save and delete.
+// framePool recycles encode scratch buffers so record framing (CRC
+// included) runs outside the journal mutex without a per-record allocation.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 128)
+	return &b
+}}
+
+// append is the shared save/tombstone path; see save and delete. The frame
+// is encoded into a pooled scratch buffer before the mutex is taken — the
+// mutex-held work is a memcpy and map/ring bookkeeping: no CRC, no syscall,
+// no allocation.
 func (j *Journal) append(key string, v uint64, del bool) error {
 	if len(key) == 0 || len(key) > journalMaxKey {
 		return fmt.Errorf("%w: length %d", ErrBadKey, len(key))
 	}
+	bp := framePool.Get().(*[]byte)
+	rec := appendRecord(j.ver, (*bp)[:0], key, v, del)
 	j.mu.Lock()
 	if err := j.usableLocked(); err != nil {
 		j.mu.Unlock()
+		*bp = rec[:0]
+		framePool.Put(bp)
 		return err
 	}
 	if del {
 		if _, seen := j.vals[key]; !seen {
 			j.mu.Unlock()
+			*bp = rec[:0]
+			framePool.Put(bp)
 			return nil // nothing durable to erase
 		}
 	}
-	mySeq, err := j.appendLocked(key, v, del)
-	if err != nil {
-		j.mu.Unlock()
-		return err
-	}
-	return j.finishAppendLocked(mySeq)
+	mySeq := j.stageLocked(key, v, del, rec)
+	*bp = rec[:0] // staged (copied); recycle the scratch, grown or not
+	framePool.Put(bp)
+	return j.commitStagedLocked(mySeq)
 }
 
 // usableLocked reports why the journal cannot accept an append: closed,
@@ -425,19 +526,12 @@ func (j *Journal) usableLocked() error {
 	}
 }
 
-// appendLocked writes one record frame and performs the bookkeeping that
-// must be atomic with it (vals, sizes, the tail window). The caller holds
-// mu and has already validated the key and journal state; durability is the
-// caller's next step (finishAppendLocked).
-func (j *Journal) appendLocked(key string, v uint64, del bool) (uint64, error) {
-	rec := appendRecord(nil, key, v, del)
-	if _, err := j.f.Write(rec); err != nil {
-		// A partial append leaves a torn frame; recovery discards it, but
-		// further appends to this handle would be misframed. Poison the
-		// journal: the caller must reopen.
-		j.ioErr = fmt.Errorf("store: journal append: %w", err)
-		return 0, j.ioErr
-	}
+// stageLocked stages one encoded record frame: the bookkeeping that must be
+// atomic with sequence assignment (vals, sizes, the tail ring) plus a
+// memcpy of the frame into the staging buffer. The caller holds mu and has
+// already validated the key and journal state; durability is the caller's
+// next step (commitStagedLocked).
+func (j *Journal) stageLocked(key string, v uint64, del bool, rec []byte) uint64 {
 	j.appends++
 	j.logSize += int64(len(rec))
 	if del {
@@ -451,57 +545,42 @@ func (j *Journal) appendLocked(key string, v uint64, del bool) (uint64, error) {
 	}
 	mySeq := j.appendSeq
 	j.appendSeq++
-	// The record joins the retained tail window even before it is durable;
-	// Recv gates delivery on syncedSeq, so readers never see it early.
-	// Trimming past a slow reader's cursor is fine — it resynchronizes by
-	// snapshot (ErrTailLagged). The trim fires only once the buffer holds
-	// twice the cap and then sheds a full cap at once, so the per-append
-	// cost is amortized O(1) instead of an O(cap) memmove per record.
-	j.tailBuf = append(j.tailBuf, TailRecord{Seq: mySeq, Key: key, Val: v, Del: del})
-	if len(j.tailBuf) >= 2*j.tailCap {
-		over := len(j.tailBuf) - j.tailCap
-		j.tailBuf = append(j.tailBuf[:0], j.tailBuf[over:]...)
-		j.tailMin += uint64(over)
-	}
-	return mySeq, nil
-}
-
-// finishAppendLocked makes the record numbered mySeq durable (and, with a
-// sync follower, replicated), releasing mu before returning. It also owns
-// the compaction trigger, so every append path — saves, tombstones, and
-// replicated batches — compacts under the same policy.
-func (j *Journal) finishAppendLocked(mySeq uint64) error {
-	// Compact when the log is both past the threshold and at least twice
-	// what the snapshot would occupy — the second condition keeps a
-	// journal whose key population alone exceeds compactAt from
-	// re-compacting on every save.
-	if j.compactAt > 0 && j.logSize >= j.compactAt && j.logSize >= 2*j.snapSize && !j.syncing {
-		// Compaction makes everything appended so far durable in one shot;
-		// it runs under mu (appends pause), which is fine for a rare,
-		// size-amortized event. Skipped while an fsync is in flight so the
-		// syncer's file handle stays valid.
-		if err := j.compactLocked(); err != nil {
-			j.mu.Unlock()
-			return err
+	j.stage = append(j.stage, rec...)
+	if len(j.tails) > 0 {
+		// The record joins the retained tail window even before it is
+		// durable; Recv gates delivery on syncedSeq, so readers never see it
+		// early. Trimming past a slow reader's cursor is fine — it
+		// resynchronizes by snapshot (ErrTailLagged). The ring trims by
+		// advancing its head: no memmove of the retained window, so a
+		// lagging follower costs staging nothing but the zeroing of the shed
+		// records.
+		j.tail.push(TailRecord{Seq: mySeq, Key: key, Val: v, Del: del})
+		if j.tail.n >= 2*j.tailCap {
+			over := j.tail.n - j.tailCap
+			j.tail.drop(over)
+			j.tailMin += uint64(over)
 		}
-		// Durable; fall through to commitLocked, which returns immediately
-		// unless a sync follower's ack is still outstanding.
+	} else {
+		// No attached readers: retaining records would only churn the ring's
+		// cache lines. Keep the window empty and positioned at the stream
+		// head, where a future Follow will attach anyway.
+		j.tailMin = j.appendSeq
 	}
-
-	if !j.sync {
-		j.syncedSeq = j.appendSeq
-		j.cond.Broadcast() // wake tailing readers; commits are immediate
-	}
-	return j.commitLocked(mySeq)
+	return mySeq
 }
 
-// commitLocked implements group commit for the record numbered mySeq; it is
-// entered with mu held and releases it before returning. Whoever finds no
-// fsync in flight becomes the syncer for everything appended so far; the
-// rest wait and re-check. With a registered sync follower the save is only
+// commitStagedLocked drives the commit pipeline for the staged record
+// numbered mySeq; it is entered with mu held and releases it before
+// returning. Whoever finds no commit in flight becomes the committer for
+// the whole staged batch: it swaps the staging buffer for the spare slab
+// and, outside the mutex, performs one write and (with sync enabled) one
+// fsync for the group, then advances the commit watermark over it — later
+// savers stage the next batch concurrently with the I/O. The rest wait on
+// the watermark. With a registered sync follower the save is only
 // acknowledged once the follower's Ack covers the record too — replication
 // joins fsync as part of the durability contract.
-func (j *Journal) commitLocked(mySeq uint64) error {
+func (j *Journal) commitStagedLocked(mySeq uint64) error {
+	yielded := false
 	for {
 		// A fence set while the record was in flight wins over completion:
 		// reporting an already-replicated save as fenced is conservative
@@ -512,7 +591,7 @@ func (j *Journal) commitLocked(mySeq uint64) error {
 			j.mu.Unlock()
 			return err
 		}
-		if j.syncedSeq > mySeq {
+		if j.syncedSeq.Load() > mySeq {
 			t := j.syncTail
 			if t == nil || t.ackNext > mySeq || j.closed {
 				j.mu.Unlock()
@@ -522,9 +601,9 @@ func (j *Journal) commitLocked(mySeq uint64) error {
 			j.cond.Wait()
 			continue
 		}
-		// The poison check must come before syncer election: a record
-		// appended while the failing fsync was in flight has
-		// mySeq >= failedSeq, and letting it sync "successfully" would
+		// The poison check must come before committer election: a record
+		// staged while the failing commit was in flight has
+		// mySeq >= failedSeq, and letting it commit "successfully" would
 		// acknowledge a record sitting behind the lost pages.
 		if j.ioErr != nil {
 			err := j.ioErr
@@ -537,54 +616,109 @@ func (j *Journal) commitLocked(mySeq uint64) error {
 			return err
 		}
 		if !j.syncing {
-			j.syncing = true
-			if j.batchDelay > 0 {
-				// Linger so concurrent saves can join this batch. mu is
-				// released: appends proceed during the wait and are covered
-				// by the snapshot below.
+			if !yielded {
+				// Yield once before electing: concurrent savers mid-append
+				// get a chance to stage into this batch, so the commit that
+				// follows covers a group instead of a single record — the
+				// scheduling analogue of JournalBatchDelay, at ~100ns
+				// instead of a timer tick, and the lever that keeps batches
+				// forming even on a single-CPU host where the committer
+				// would otherwise run before anyone else could stage.
+				yielded = true
 				j.mu.Unlock()
-				time.Sleep(j.batchDelay)
+				runtime.Gosched()
 				j.mu.Lock()
+				continue
 			}
-			target := j.appendSeq
-			f := j.f
-			j.syncs++
-			j.mu.Unlock()
-
-			err := f.Sync()
-
-			j.mu.Lock()
-			j.syncing = false
-			if err == nil {
-				if target > j.syncedSeq {
-					j.syncedSeq = target
-				}
-			} else {
-				syncErr := fmt.Errorf("store: journal sync: %w", err)
-				if target > j.failedSeq {
-					j.failedSeq = target
-					j.syncErr = syncErr
-				}
-				// Poison the journal: after a failed fsync the kernel may
-				// mark the lost pages clean (fsync reports an error once),
-				// so a LATER fsync can succeed while this batch's records
-				// are holes — recovery would then truncate records we
-				// acknowledged after the failure. Force a reopen instead.
-				if j.ioErr == nil {
-					j.ioErr = syncErr
-				}
-			}
-			j.cond.Broadcast()
+			j.commitBatchLocked()
 			continue
 		}
 		j.cond.Wait()
 	}
 }
 
+// commitBatchLocked runs one batch through the write+fsync stage of the
+// pipeline as the elected committer. Entered with mu held and j.syncing
+// false; returns with mu held. On return the batch it drained is either
+// covered by the watermark or recorded as failed.
+func (j *Journal) commitBatchLocked() {
+	j.syncing = true
+	if j.sync && j.batchDelay > 0 {
+		// Linger so concurrent saves can join this batch. mu is released:
+		// stagings proceed during the wait and are covered by the swap
+		// below.
+		j.mu.Unlock()
+		time.Sleep(j.batchDelay)
+		j.mu.Lock()
+	}
+	// Compact when the log is both past the threshold and at least twice
+	// what the snapshot would occupy — the second condition keeps a journal
+	// whose key population alone exceeds compactAt from re-compacting on
+	// every save. Compaction subsumes this batch's write AND fsync: the
+	// snapshot is taken from j.vals, which already reflects every staged
+	// record, so on success the staged frames are simply discarded. An
+	// early failure (old log intact) falls through to a normal commit; a
+	// late failure poisons the journal and the waiters surface it.
+	if j.compactAt > 0 && j.logSize >= j.compactAt && j.logSize >= 2*j.snapSize {
+		if err := j.compactLocked(); err == nil || j.ioErr != nil {
+			j.syncing = false
+			j.cond.Broadcast()
+			return
+		}
+	}
+	buf := j.stage
+	j.stage = j.spare[:0]
+	j.spare = nil // owned by this commit until it completes
+	target := j.appendSeq
+	f := j.f
+	if j.sync {
+		j.syncs++
+	}
+	j.mu.Unlock()
+
+	var werr error
+	if len(buf) > 0 {
+		_, werr = f.Write(buf)
+	}
+	if werr == nil && j.sync {
+		werr = f.Sync()
+	}
+
+	j.mu.Lock()
+	j.syncing = false
+	j.spare = buf[:0]
+	if werr == nil {
+		if target > j.syncedSeq.Load() {
+			j.syncedSeq.Store(target)
+		}
+	} else {
+		syncErr := fmt.Errorf("store: journal commit: %w", werr)
+		if target > j.failedSeq {
+			j.failedSeq = target
+			j.syncErr = syncErr
+		}
+		// Poison the journal: a partial write leaves a torn frame under
+		// later appends, and after a failed fsync the kernel may mark the
+		// lost pages clean (fsync reports an error once), so a LATER fsync
+		// can succeed while this batch's records are holes — recovery would
+		// then truncate records we acknowledged after the failure. Force a
+		// reopen instead.
+		if j.ioErr == nil {
+			j.ioErr = syncErr
+		}
+	}
+	j.cond.Broadcast()
+}
+
 // compactLocked rewrites the journal as one record per key (mu held). The
 // snapshot is written to a temp file, synced, and renamed over the log, so
 // a reset during compaction leaves the old log intact; afterwards every
-// value appended so far is durable.
+// value staged so far is durable — the snapshot is taken from j.vals, which
+// already reflects every staged record, so the staging buffer is discarded
+// and the watermark jumps to appendSeq. An early failure (before the
+// rename) leaves the journal fully usable on the old log and is retried at
+// the next threshold crossing; failures past the rename poison the journal
+// as described inline.
 func (j *Journal) compactLocked() error {
 	dir := filepath.Dir(j.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".compact*")
@@ -600,10 +734,10 @@ func (j *Journal) compactLocked() error {
 
 	buf := make([]byte, 0, journalHeaderLen+len(j.vals)*32)
 	buf = append(buf, journalMagic...)
-	buf = binary.BigEndian.AppendUint16(buf, journalVersion)
+	buf = binary.BigEndian.AppendUint16(buf, j.ver) // preserve the file's frame format
 	buf = append(buf, 0, 0)
 	for key, v := range j.vals {
-		buf = appendRecord(buf, key, v, false)
+		buf = appendRecord(j.ver, buf, key, v, false)
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		return fail("write", err)
@@ -642,10 +776,11 @@ func (j *Journal) compactLocked() error {
 	j.f = f
 	j.logSize = int64(len(buf))
 	j.compactions++
-	// The snapshot holds every value ever appended: all outstanding saves
-	// are now durable.
-	if j.appendSeq > j.syncedSeq {
-		j.syncedSeq = j.appendSeq
+	// The snapshot holds every value ever staged: all outstanding saves are
+	// now durable, and any still-staged frames are redundant with it.
+	j.stage = j.stage[:0]
+	if j.appendSeq > j.syncedSeq.Load() {
+		j.syncedSeq.Store(j.appendSeq)
 	}
 	j.cond.Broadcast()
 	return nil
@@ -725,8 +860,9 @@ func (c *Cell) Delete() error { return c.j.delete(c.key) }
 // Key returns the cell's journal key.
 func (c *Cell) Key() string { return c.key }
 
-// Close waits for any in-flight group commit, syncs, and closes the log.
-// Further saves and fetches return ErrClosed.
+// Close waits for any in-flight group commit, flushes whatever is still
+// staged, syncs, and closes the log. Further saves and fetches return
+// ErrClosed.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	if j.closed {
@@ -738,21 +874,33 @@ func (j *Journal) Close() error {
 		j.cond.Wait()
 	}
 	var err error
-	if j.sync && j.ioErr == nil && j.syncedSeq < j.appendSeq {
-		if err = j.f.Sync(); err == nil {
-			j.syncedSeq = j.appendSeq
+	if j.ioErr == nil && j.syncedSeq.Load() < j.appendSeq {
+		// Final flush: drain the staging buffer and make it durable, so a
+		// clean Close never strands a staged record behind the watermark.
+		if len(j.stage) > 0 {
+			if _, werr := j.f.Write(j.stage); werr != nil {
+				err = fmt.Errorf("store: journal close flush: %w", werr)
+			}
+			j.stage = j.stage[:0]
+		}
+		if err == nil && j.sync {
+			if serr := j.f.Sync(); serr != nil {
+				err = fmt.Errorf("store: journal close sync: %w", serr)
+			}
+			j.syncs++
+		}
+		if err == nil {
+			j.syncedSeq.Store(j.appendSeq)
 		} else {
-			// Record the failure for savers still waiting in commitLocked,
-			// or they would elect themselves syncer over the closed file
-			// and mask the real error.
-			err = fmt.Errorf("store: journal close sync: %w", err)
+			// Record the failure for savers still waiting in
+			// commitStagedLocked, or they would elect themselves committer
+			// over the closed file and mask the real error.
 			if j.failedSeq < j.appendSeq {
 				j.failedSeq = j.appendSeq
 				j.syncErr = err
 			}
 			j.ioErr = err
 		}
-		j.syncs++
 	}
 	if cerr := j.f.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("store: journal close: %w", cerr)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -630,5 +631,47 @@ func TestJournalDeleteUnknownKeyNoOp(t *testing.T) {
 	}
 	if j.Appends() != before {
 		t.Error("deleting an unknown key appended a record")
+	}
+}
+
+// TestJournalV1Compat pins cross-version compatibility of the frame format:
+// a version-1 journal (IEEE CRC frames) must open, fetch, append — in v1
+// framing, never mixing checksum kinds within one file — and reopen under
+// the version-2 (CRC-32C) code.
+func TestJournalV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.log")
+	var buf []byte
+	buf = append(buf, journalMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, journalVersion1)
+	buf = append(buf, 0, 0)
+	buf = appendRecord(journalVersion1, buf, "tx/a", 41, false)
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open v1 journal: %v", err)
+	}
+	if v, ok, _ := j.Cell("tx/a").Fetch(); !ok || v != 41 {
+		t.Fatalf("v1 fetch = %d,%v, want 41,true", v, ok)
+	}
+	if err := j.Cell("tx/a").Save(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen v1 journal after append: %v", err)
+	}
+	defer j2.Close()
+	if v, ok, _ := j2.Cell("tx/a").Fetch(); !ok || v != 42 {
+		t.Fatalf("v1 reopen fetch = %d,%v, want 42,true", v, ok)
+	}
+	if j2.ver != journalVersion1 {
+		t.Fatalf("reopened version = %d, want %d (a v1 log must never upgrade in place)", j2.ver, journalVersion1)
 	}
 }

@@ -44,7 +44,8 @@ type Tail struct {
 	next    uint64 // sequence number of the next record to deliver
 	ackNext uint64 // every record with seq < ackNext is applied downstream
 	closed  bool
-	resyncs uint64 // ErrTailLagged occurrences (snapshot reloads needed)
+	lagged  bool   // cursor behind the window; cleared by Snapshot
+	resyncs uint64 // distinct lag episodes (snapshot reloads needed)
 }
 
 // Follow attaches a new tailing reader positioned at the end of the current
@@ -88,6 +89,7 @@ func (t *Tail) Snapshot() (vals map[string]uint64, next uint64, err error) {
 		vals[k] = v
 	}
 	t.next = j.appendSeq
+	t.lagged = false
 	return vals, t.next, nil
 }
 
@@ -104,27 +106,55 @@ func (t *Tail) Recv(buf []TailRecord) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for {
-		if t.closed {
-			return 0, ErrClosed
-		}
-		if t.next < j.tailMin {
-			t.resyncs++
-			return 0, ErrTailLagged
-		}
-		n := 0
-		for n < len(buf) && t.next < j.syncedSeq && int(t.next-j.tailMin) < len(j.tailBuf) {
-			buf[n] = j.tailBuf[t.next-j.tailMin]
-			t.next++
-			n++
-		}
-		if n > 0 {
-			return n, nil
+		n, err := t.recvLocked(buf)
+		if n > 0 || err != nil {
+			return n, err
 		}
 		if j.closed {
 			return 0, ErrClosed
 		}
 		j.cond.Wait()
 	}
+}
+
+// TryRecv is the non-blocking Recv: it fills buf with whatever committed
+// records are immediately available and returns 0 instead of waiting. A
+// follower uses it to drain the stream in gulps — one blocking Recv, then
+// TryRecv until empty — so a whole burst of group commits is applied and
+// acknowledged as one batch.
+func (t *Tail) TryRecv(buf []TailRecord) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	j := t.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return t.recvLocked(buf)
+}
+
+// recvLocked copies out up to len(buf) committed records at the cursor.
+func (t *Tail) recvLocked(buf []TailRecord) (int, error) {
+	j := t.j
+	if t.closed {
+		return 0, ErrClosed
+	}
+	if t.next < j.tailMin {
+		if !t.lagged {
+			// One lag episode counts once, no matter how many Recv/TryRecv
+			// calls observe it before the snapshot resync clears it.
+			t.lagged = true
+			t.resyncs++
+		}
+		return 0, ErrTailLagged
+	}
+	n := 0
+	committed := j.syncedSeq.Load()
+	for n < len(buf) && t.next < committed && int(t.next-j.tailMin) < j.tail.n {
+		buf[n] = j.tail.at(int(t.next - j.tailMin))
+		t.next++
+		n++
+	}
+	return n, nil
 }
 
 // Ack records that every record with sequence number below next has been
@@ -152,10 +182,10 @@ func (t *Tail) Lag() uint64 {
 	j := t.j
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if t.ackNext >= j.syncedSeq {
-		return 0
+	if committed := j.syncedSeq.Load(); t.ackNext < committed {
+		return committed - t.ackNext
 	}
-	return j.syncedSeq - t.ackNext
+	return 0
 }
 
 // Pending returns the number of committed records not yet received through
@@ -165,10 +195,10 @@ func (t *Tail) Pending() uint64 {
 	j := t.j
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if t.next >= j.syncedSeq {
-		return 0
+	if committed := j.syncedSeq.Load(); t.next < committed {
+		return committed - t.next
 	}
-	return j.syncedSeq - t.next
+	return 0
 }
 
 // Resyncs returns how many times the reader fell behind the retained window
@@ -195,6 +225,12 @@ func (t *Tail) Close() {
 	delete(j.tails, t)
 	if j.syncTail == t {
 		j.syncTail = nil
+	}
+	if len(j.tails) == 0 && j.tail.n > 0 {
+		// Last reader gone: release the retained window (staging stops
+		// refilling it until someone follows again).
+		j.tail.drop(j.tail.n)
+		j.tailMin = j.appendSeq
 	}
 	j.cond.Broadcast()
 }
@@ -296,6 +332,7 @@ func (j *Journal) Apply(recs []TailRecord) error {
 		j.mu.Unlock()
 		return err
 	}
+	var arr [96]byte
 	var last uint64
 	wrote := false
 	for _, r := range recs {
@@ -310,16 +347,20 @@ func (j *Journal) Apply(recs []TailRecord) error {
 			j.mu.Unlock()
 			return fmt.Errorf("%w: length %d", ErrBadKey, len(r.Key))
 		}
-		seq, err := j.appendLocked(r.Key, r.Val, r.Del)
-		if err != nil {
-			j.mu.Unlock()
-			return err
+		var rec []byte
+		if n := 2 + 8 + len(r.Key) + 4; n <= len(arr) {
+			rec = appendRecord(j.ver, arr[:0], r.Key, r.Val, r.Del)
+		} else {
+			rec = appendRecord(j.ver, make([]byte, 0, 2+8+len(r.Key)+4), r.Key, r.Val, r.Del)
 		}
-		last, wrote = seq, true
+		last, wrote = j.stageLocked(r.Key, r.Val, r.Del, rec), true
 	}
 	if !wrote {
 		j.mu.Unlock()
 		return nil
 	}
-	return j.finishAppendLocked(last)
+	// The whole batch was staged under one mutex hold, so a single commit —
+	// one write, one fsync — covers it (and whatever other savers staged
+	// alongside).
+	return j.commitStagedLocked(last)
 }
