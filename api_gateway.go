@@ -22,6 +22,19 @@ type (
 	SaverPool = store.SaverPool
 	// PoolSaver is one store's BackgroundSaver handle onto a SaverPool.
 	PoolSaver = store.PoolSaver
+	// Medium is the durable multi-counter surface shared by *Journal (one
+	// commit lane) and *Lanes (many); GatewayConfig.Journal and the
+	// cluster's Config accept either.
+	Medium = store.Medium
+	// Lanes is the laned persistent medium: a directory of commit-lane
+	// journals under one manifest, routed by the SAD's SPI hash, with
+	// parallel group commits and concurrent crash recovery.
+	Lanes = store.Lanes
+	// LanesOption configures OpenLanes.
+	LanesOption = store.LanesOption
+	// RecoveryStats reports what open-time replay found: frames replayed,
+	// corrupt frames dropped mid-log, and whether a torn tail was cut.
+	RecoveryStats = store.RecoveryStats
 	// Gateway is a multi-SA IPsec endpoint persisting every SA into one
 	// shared Journal through one shared SaverPool.
 	Gateway = ipsec.Gateway
@@ -67,6 +80,53 @@ func JournalBatchDelay(d time.Duration) JournalOption {
 // bad frame is followed by valid records, instead of truncating it as a
 // torn tail; prefer it on storage without its own integrity checking.
 func JournalStrictRecovery() JournalOption { return store.JournalStrictRecovery() }
+
+// JournalCompactCells stores the tx/ and rx/ SA keys of the journal in a
+// packed fixed-width form in memory (the on-disk format is unchanged),
+// shrinking the per-SA footprint and speeding recovery; laned journals
+// enable it on every lane automatically.
+func JournalCompactCells() JournalOption { return store.JournalCompactCells() }
+
+// RecoveryDropped returns the process-wide count of corrupt mid-log regions
+// dropped during journal recovery — the loud replacement for silently
+// truncating at the first bad frame.
+func RecoveryDropped() uint64 { return store.RecoveryDropped() }
+
+// NewLanes opens (or creates) the laned journal medium rooted at dir: N
+// commit lanes, each its own group-committed journal file, fsyncing and
+// recovering in parallel. An existing directory's manifest fixes the lane
+// count; LanesCount applies only to a fresh one.
+func NewLanes(dir string, opts ...LanesOption) (*Lanes, error) {
+	return store.OpenLanes(dir, opts...)
+}
+
+// LanesCount sets the lane count for a fresh lane directory (power of two,
+// up to 1024; default 64, matching the SAD's stripes).
+func LanesCount(n int) LanesOption { return store.LanesCount(n) }
+
+// LanesWithoutSync disables every fsync in every lane; see
+// JournalWithoutSync.
+func LanesWithoutSync() LanesOption { return store.LanesWithoutSync() }
+
+// LanesCompactAt sets each lane's compaction threshold; see
+// JournalCompactAt.
+func LanesCompactAt(n int64) LanesOption { return store.LanesCompactAt(n) }
+
+// LanesBatchDelay sets each lane's group-commit linger; see
+// JournalBatchDelay.
+func LanesBatchDelay(d time.Duration) LanesOption { return store.LanesBatchDelay(d) }
+
+// LanesTailBuffer sets each lane's retained-record window for replication
+// tails; see JournalTailBuffer.
+func LanesTailBuffer(n int) LanesOption { return store.LanesTailBuffer(n) }
+
+// LanesStrictRecovery makes every lane refuse mid-log corruption instead of
+// dropping the damaged region; see JournalStrictRecovery.
+func LanesStrictRecovery() LanesOption { return store.LanesStrictRecovery() }
+
+// LanesSpread places lane files round-robin across dirs (one per device to
+// parallelize fsyncs across spindles); the manifest stays in the root dir.
+func LanesSpread(dirs ...string) LanesOption { return store.LanesSpread(dirs...) }
 
 // NewSaverPool starts a pool of background-save workers (<= 0 means
 // store.DefaultPoolWorkers).

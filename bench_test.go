@@ -253,6 +253,21 @@ func BenchmarkTableHotpath(b *testing.B) {
 	b.ReportMetric(colValue(b, tbl, "ns_op"), "admission-fast-ns")
 }
 
+// BenchmarkTableScale regenerates the PR 6 scale table at its 50k smoke
+// parameterization: laned vs single-journal cold-start recovery, the
+// 64-way laned SAVE cost, and heap per installed SA (the full million-SA
+// run is `go run ./cmd/benchtables -only scale`, committed in
+// BENCH_6.json).
+func BenchmarkTableScale(b *testing.B) {
+	tbl := runTable(b, func() (*experiments.Table, error) {
+		cfg := experiments.DefaultScaleConfig()
+		cfg.Cells = 50_000
+		cfg.SAs = 50_000
+		return experiments.Scale(cfg)
+	})
+	b.ReportMetric(colValue(b, tbl, "per_sec"), "sa-installs-per-sec")
+}
+
 // BenchmarkJournalAppendParallel drives 64 goroutines of concurrent saves
 // (one cell each, the gateway-scale SAVE shape) into one no-fsync journal:
 // the commit pipeline's staging + group write under full contention. The

@@ -125,6 +125,7 @@ func writeJSON(path string, fast bool, tables []*experiments.Table) error {
 			"failover_blackout":           "virtual time from primary crash to DPD-confirmed resurrection of the promoted standby, per loss rate",
 			"hotpath":                     "PR 5 acceptance metrics: journal_append_recs_per_sec (64 parallel savers, no-fsync), admission_*_ns_op (per-packet anti-replay), hotpath_allocs_op (pinned 0 on every steady-state row)",
 			"pr5_pre_pr_baselines":        "medians of runs alternated with the pre-PR 5 tree on the same host/session: journal append 64-way 1296 ns/op, 3 allocs/op (PR 5: ~404 ns/op, 0 allocs — 3.2x); admission fast path 76.6 ns/op (PR 5: ~37.7 — 2.0x); parallel Seal 1678 ns/op, 12 allocs/op (PR 5 SealAppend: ~575, 0 allocs); replication save-to-ack 246970 rec/s pre-PR on this host (PR 4's committed figure was ~70k rec/s on a busier host)",
+			"scale":                       "PR 6 acceptance metrics: cold-start recovery of the same counter population through a single-lane generic journal vs the laned compact-cell medium (recover_lanes detail carries the speedup), 64-way laned SAVE ns_op/allocs_op, and live heap bytes per installed inbound SA",
 		},
 	}
 	records := 100000
@@ -160,6 +161,13 @@ func writeJSON(path string, fast bool, tables []*experiments.Table) error {
 			out.Metrics["admission_fast_ns_op"] = nsOp["admission_fast"]
 			out.Metrics["admission_mutex_ns_op"] = nsOp["admission_mutex"]
 			out.Metrics["hotpath_allocs_op"] = columnByLoss(tbl, "allocs_op")
+		case "scale":
+			// PR 6 acceptance metrics: recovery side-by-side (the detail cell
+			// of recover_lanes carries the speedup), the laned 64-way SAVE
+			// cost, and live heap per installed SA.
+			out.Metrics["scale_recover_ms"] = columnByLoss(tbl, "ms")
+			out.Metrics["scale_per_sec"] = columnByLoss(tbl, "per_sec")
+			out.Metrics["scale_detail"] = columnByLoss(tbl, "detail")
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -20,6 +20,7 @@
 package main
 
 import (
+	cryptorand "crypto/rand"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,6 +59,8 @@ func main() {
 		leap     = flag.Float64("leap", 0, "leap factor override (0 = paper's 2)")
 		rekeyN   = flag.Uint64("rekey-every", 0, "roll the SA over every n delivered packets on a gateway pair (0 = plain flow mode)")
 		failN    = flag.Uint64("failover-every", 0, "crash the receiver gateway and promote its cluster standby every n delivered packets (0 = no cluster)")
+		lanesN   = flag.Int("lanes", 1, "journal commit lanes per node in the gateway modes (>1 opens the laned medium)")
+		sasN     = flag.Int("sas", 1, "total inbound SAs on the cluster node in failover mode (extras spread across lanes and wake on every takeover)")
 	)
 	flag.Parse()
 
@@ -66,14 +69,14 @@ func main() {
 		os.Exit(2)
 	}
 	if *failN > 0 {
-		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w); err != nil {
+		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w, *lanesN, *sasN); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *rekeyN > 0 {
-		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w); err != nil {
+		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w, *lanesN); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -157,13 +160,19 @@ func main() {
 // reports per-failover replication lag, the post-takeover false-reject
 // window, and — the §3 safety claim under failover — that replaying the
 // entire history re-delivers nothing.
-func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int) error {
+func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int, lanes, sas int) error {
 	dir, err := os.MkdirTemp("", "resetsim-failover-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	openJ := func(name string) (*store.Journal, error) {
+	// openJ opens a node's medium by name — the laned journal when -lanes
+	// asks for one — and is also the reboot path, so a dead node comes back
+	// on the same medium shape it crashed with.
+	openJ := func(name string) (store.Medium, error) {
+		if lanes > 1 {
+			return store.OpenLanes(filepath.Join(dir, name), store.LanesCount(lanes))
+		}
 		return store.OpenJournal(filepath.Join(dir, name+".log"))
 	}
 
@@ -186,7 +195,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 		jB.Close()
 		return err
 	}
-	nodePaths := map[*store.Journal]string{jB: filepath.Join(dir, "node-a.log")}
+	nodeNames := map[store.Medium]string{jB: "node-a"}
 
 	rng := rand.New(rand.NewSource(seed))
 	res, err := ike.Establish(ike.Config{PSK: []byte("resetsim"), ID: "gw-a",
@@ -206,12 +215,24 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	if _, err := B.AddInbound(keys.SPIInitToResp, keys.InitToResp); err != nil {
 		return err
 	}
+	// -sas extras: additional inbound SAs on the cluster node. They carry no
+	// traffic here, but they spread counters across the lanes, replicate,
+	// and are woken (FETCH + leap + SAVE, each) by every takeover.
+	for i := 1; i < sas; i++ {
+		km := ipsec.KeyMaterial{AuthKey: make([]byte, ipsec.AuthKeySize)}
+		if _, err := cryptorand.Read(km.AuthKey); err != nil {
+			return err
+		}
+		if _, err := B.AddInbound(uint32(0x00C0_0000+i), km); err != nil {
+			return err
+		}
+	}
 
 	jS, err := openJ("node-b")
 	if err != nil {
 		return err
 	}
-	nodePaths[jS] = filepath.Join(dir, "node-b.log")
+	nodeNames[jS] = "node-b"
 	standby, err := cluster.NewStandby(cluster.Config{Source: jB, Journal: jS, K: k, W: w})
 	if err != nil {
 		jS.Close()
@@ -223,7 +244,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	if err := standby.Mirror(B.Snapshot()); err != nil {
 		return err
 	}
-	journals := []*store.Journal{jB, jS}
+	journals := []store.Medium{jB, jS}
 	defer func() {
 		for _, j := range journals {
 			j.Close()
@@ -292,14 +313,14 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 
 		// The dead node reboots into the next standby (failback roles).
 		deadJournal := B.Journal()
-		deadPath := nodePaths[deadJournal]
+		deadName := nodeNames[deadJournal]
 		B.Close()
 		deadJournal.Close()
-		reborn, err := store.OpenJournal(deadPath)
+		reborn, err := openJ(deadName)
 		if err != nil {
 			return err
 		}
-		nodePaths[reborn] = deadPath
+		nodeNames[reborn] = deadName
 		journals = append(journals, reborn)
 		standby, err = cluster.NewStandby(cluster.Config{Source: gw2.Journal(), Journal: reborn, K: k, W: w})
 		if err != nil {
@@ -337,14 +358,22 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 // delivered packets. loss applies both to data packets and to the rekey
 // exchange's messages; resetAt > 0 crashes the receiver gateway
 // mid-exchange at the first rollover after that many deliveries.
-func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int) error {
+func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int, lanes int) error {
 	dir, err := os.MkdirTemp("", "resetsim-rekey-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
 	mkGateway := func(name string) (*ipsec.Gateway, error) {
-		j, err := store.OpenJournal(filepath.Join(dir, name+".journal"))
+		var (
+			j   store.Medium
+			err error
+		)
+		if lanes > 1 {
+			j, err = store.OpenLanes(filepath.Join(dir, name), store.LanesCount(lanes))
+		} else {
+			j, err = store.OpenJournal(filepath.Join(dir, name+".journal"))
+		}
 		if err != nil {
 			return nil, err
 		}

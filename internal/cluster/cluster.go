@@ -75,11 +75,14 @@ const DefaultBatchMax = 256
 
 // Config parameterizes a Standby.
 type Config struct {
-	// Source is the primary's journal — the replication source. Required.
-	Source *store.Journal
-	// Journal is the standby's own (follower) journal, the medium a
-	// takeover wakes from. Required.
-	Journal *store.Journal
+	// Source is the primary's durable medium — the replication source: a
+	// single *store.Journal or a laned *store.Lanes. Required.
+	Source store.Medium
+	// Journal is the standby's own (follower) medium, the one a takeover
+	// wakes from. It must have the same number of commit lanes as Source —
+	// replication runs lane-to-lane, so the key-to-lane hash must agree on
+	// both sides. Required.
+	Journal store.Medium
 	// K, W, ESN, Workers, Lifetime and Clock configure the warm gateway
 	// image exactly as ipsec.GatewayConfig does; they should match the
 	// primary's settings.
@@ -119,13 +122,12 @@ type ReplicationStats struct {
 // drains the stream, bumps the epoch, and wakes the image — the paper's
 // recovery, pointed at the replica. Safe for concurrent use.
 type Standby struct {
-	cfg Config
-	gw  *ipsec.Gateway
-	tl  *store.Tail
+	cfg   Config
+	gw    *ipsec.Gateway
+	lanes []*laneRepl
 
 	applied   stats.Counter
 	snapshots stats.Counter
-	lag       stats.Gauge
 
 	// op serializes the control-plane operations that act on the gateway
 	// image — Mirror and Takeover — so a mirror can never run Adopt on an
@@ -140,11 +142,27 @@ type Standby struct {
 	localEpoch uint64 // fencing floor: sources below this are stale
 	srcEpoch   uint64 // highest epoch seen from the source
 	done       chan struct{}
+	wg         sync.WaitGroup
 }
 
-// journalEpoch reads a journal's cluster epoch (0 when never set).
-func journalEpoch(j *store.Journal) uint64 {
-	v, ok, err := j.Cell(EpochKey).Fetch()
+// laneRepl replicates one commit lane: the source lane's tail applied into
+// the same-numbered follower lane. Lanes replicate independently — each has
+// its own replication goroutine, sync-follower registration, and lag gauge
+// — so one lane's apply fsync never delays another lane's acks, and the
+// cluster's save-to-ack throughput scales with the lane parallelism the
+// laned journal already provides locally.
+type laneRepl struct {
+	s   *Standby
+	idx int
+	src *store.Journal
+	dst *store.Journal
+	tl  *store.Tail
+	lag stats.Gauge
+}
+
+// journalEpoch reads a medium's cluster epoch (0 when never set).
+func journalEpoch(m store.Medium) uint64 {
+	v, ok, err := m.Cell(EpochKey).Fetch()
 	if err != nil || !ok {
 		return 0
 	}
@@ -166,6 +184,12 @@ func NewStandby(cfg Config) (*Standby, error) {
 	if cfg.Source == cfg.Journal {
 		return nil, fmt.Errorf("%w: a journal cannot follow itself", ErrConfig)
 	}
+	srcLanes := cfg.Source.LaneJournals()
+	dstLanes := cfg.Journal.LaneJournals()
+	if len(srcLanes) != len(dstLanes) {
+		return nil, fmt.Errorf("%w: lane counts differ (source %d, follower %d)",
+			ErrConfig, len(srcLanes), len(dstLanes))
+	}
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = DefaultBatchMax
 	}
@@ -186,28 +210,35 @@ func NewStandby(cfg Config) (*Standby, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: standby gateway: %w", err)
 	}
-	tl, err := cfg.Source.Follow()
-	if err != nil {
-		gw.Close()
-		return nil, fmt.Errorf("cluster: follow source: %w", err)
-	}
-	if err := cfg.Source.SyncFollower(tl); err != nil {
-		tl.Close()
-		gw.Close()
-		return nil, fmt.Errorf("cluster: register sync follower: %w", err)
-	}
-	return &Standby{
+	s := &Standby{
 		cfg:        cfg,
 		gw:         gw,
-		tl:         tl,
 		localEpoch: localEpoch,
 		done:       make(chan struct{}),
-	}, nil
+	}
+	for i := range srcLanes {
+		tl, err := srcLanes[i].Follow()
+		if err == nil {
+			if err = srcLanes[i].SyncFollower(tl); err != nil {
+				tl.Close()
+			}
+		}
+		if err != nil {
+			s.closeTails()
+			gw.Close()
+			return nil, fmt.Errorf("cluster: follow source lane %d: %w", i, err)
+		}
+		s.lanes = append(s.lanes, &laneRepl{
+			s: s, idx: i, src: srcLanes[i], dst: dstLanes[i], tl: tl,
+		})
+	}
+	return s, nil
 }
 
-// Start launches the replication loop: snapshot-then-tail from the source
-// into the follower journal. It returns immediately; terminal stream errors
-// surface through Stats().Err and fail a later Takeover.
+// Start launches the replication loops, one per commit lane:
+// snapshot-then-tail from each source lane into the same-numbered follower
+// lane. It returns immediately; terminal stream errors surface through
+// Stats().Err and fail a later Takeover.
 func (s *Standby) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -218,42 +249,71 @@ func (s *Standby) Start() error {
 		return nil
 	}
 	s.started = true
-	go s.run()
+	s.wg.Add(len(s.lanes))
+	for _, l := range s.lanes {
+		go l.run()
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.done)
+	}()
 	return nil
 }
 
-// fail records the loop's terminal error and releases the primary's savers:
+// fail records a loop's terminal error and releases the primary's savers:
 // a dead standby must degrade the primary to local-only durability, not
-// wedge it. Closing the tail clears the sync-follower role only if this
-// standby still holds it — never a successor standby's registration (which
-// would silently void the successor's replication guarantee). The
-// degradation is loud — Stats().Err and a failed Takeover.
+// wedge it. Every lane's tail is closed — a standby with one dead lane is a
+// dead standby; letting the healthy lanes keep acking would let the primary
+// count saves on them as replicated while the broken lane silently rots.
+// Closing a tail clears the sync-follower role only if this standby still
+// holds it — never a successor standby's registration (which would silently
+// void the successor's replication guarantee). The degradation is loud —
+// Stats().Err and a failed Takeover.
 func (s *Standby) fail(err error) {
 	s.mu.Lock()
 	if s.runErr == nil {
 		s.runErr = err
 	}
 	s.mu.Unlock()
-	s.tl.Close()
+	s.closeTails()
 }
 
-// run is the replication loop; it exits when the tail closes (Stop or
-// Takeover) or on a terminal error.
+// closeTails detaches every lane's tail; idempotent.
+func (s *Standby) closeTails() {
+	for _, l := range s.lanes {
+		l.tl.Close()
+	}
+}
+
+// totalLag sums the instantaneous replication lag across lanes.
+func (s *Standby) totalLag() uint64 {
+	var lag uint64
+	for _, l := range s.lanes {
+		lag += l.tl.Lag()
+	}
+	return lag
+}
+
+// run is one lane's replication loop; it exits when the lane's tail closes
+// (Stop or Takeover) or on a terminal error, which tears down every lane.
 //
 // Receives are coalesced: after one blocking Recv the loop drains whatever
-// further records the source has already committed (Tail.TryRecv) before
-// applying, so a burst of primary group commits lands in the follower
-// journal as ONE Apply — one follower fsync — and is acknowledged with ONE
-// Ack. Since the sync-follower ack is what completes the primary's saves,
-// batching here directly raises the cluster's save-to-ack throughput.
-func (s *Standby) run() {
-	defer close(s.done)
+// further records the source lane has already committed (Tail.TryRecv)
+// before applying, so a burst of primary group commits lands in the
+// follower lane as ONE Apply — one follower fsync — and is acknowledged
+// with ONE Ack. Since the sync-follower ack is what completes the primary's
+// saves, batching here directly raises the cluster's save-to-ack
+// throughput; with many lanes those applies also run in parallel across the
+// follower's lane files.
+func (l *laneRepl) run() {
+	s := l.s
+	defer s.wg.Done()
 	buf := make([]store.TailRecord, s.cfg.BatchMax)
 	batch := make([]store.TailRecord, 0, 4*s.cfg.BatchMax)
 	needSnap := true
 	for {
 		if needSnap {
-			if err := s.resync(); err != nil {
+			if err := l.resync(); err != nil {
 				if !errors.Is(err, store.ErrClosed) {
 					s.fail(err)
 				}
@@ -261,7 +321,7 @@ func (s *Standby) run() {
 			}
 			needSnap = false
 		}
-		n, err := s.tl.Recv(buf)
+		n, err := l.tl.Recv(buf)
 		switch {
 		case errors.Is(err, store.ErrTailLagged):
 			needSnap = true
@@ -274,7 +334,7 @@ func (s *Standby) run() {
 		}
 		batch = append(batch[:0], buf[:n]...)
 		for len(batch)+len(buf) <= 4*s.cfg.BatchMax {
-			m, terr := s.tl.TryRecv(buf)
+			m, terr := l.tl.TryRecv(buf)
 			if terr != nil || m == 0 {
 				// Apply what we have; the next blocking Recv surfaces any
 				// error (lag, closure) in the switch above.
@@ -291,34 +351,41 @@ func (s *Standby) run() {
 				return
 			}
 		}
-		if err := s.cfg.Journal.Apply(batch); err != nil {
-			s.fail(fmt.Errorf("cluster: apply batch: %w", err))
+		if err := l.dst.Apply(batch); err != nil {
+			s.fail(fmt.Errorf("cluster: apply batch (lane %d): %w", l.idx, err))
 			return
 		}
-		s.tl.Ack(batch[len(batch)-1].Seq + 1)
+		l.tl.Ack(batch[len(batch)-1].Seq + 1)
 		s.applied.Add(uint64(len(batch)))
-		s.lag.Set(s.tl.Lag())
+		l.lag.Set(l.tl.Lag())
 	}
 }
 
-// resync performs one snapshot-then-tail attachment: fence-check the
-// source's epoch, reconcile the follower journal to the snapshot (keys
+// resync performs one snapshot-then-tail attachment of a lane: fence-check
+// the source's epoch, reconcile the follower lane to the snapshot (keys
 // absent from the snapshot are tombstoned — they were retired on the
 // primary while we were not watching; values apply max-wins, so residual
 // higher local counters survive, which errs toward sacrifice, never toward
 // replay), and acknowledge the snapshot position.
-func (s *Standby) resync() error {
-	snap, next, err := s.tl.Snapshot()
+func (l *laneRepl) resync() error {
+	s := l.s
+	snap, next, err := l.tl.Snapshot()
 	if err != nil {
 		return err
 	}
-	if err := s.noteSourceEpoch(snap[EpochKey]); err != nil {
-		return err
+	// Only the epoch's own lane carries EpochKey; on every other lane the
+	// key's absence means "not this lane", not "epoch zero", so the fence
+	// check is presence-guarded. (A stale source is still refused at
+	// attach time — NewStandby reads the epoch through the lane hash.)
+	if e, ok := snap[EpochKey]; ok {
+		if err := s.noteSourceEpoch(e); err != nil {
+			return err
+		}
 	}
 	// Tombstones and values join one batch, so the whole reconciliation
 	// group-commits under a single fsync regardless of how many keys were
 	// retired while this node was not watching.
-	local := s.cfg.Journal.Values()
+	local := l.dst.Values()
 	recs := make([]store.TailRecord, 0, len(snap)+8)
 	for key := range local {
 		if _, ok := snap[key]; !ok {
@@ -328,12 +395,12 @@ func (s *Standby) resync() error {
 	for key, v := range snap {
 		recs = append(recs, store.TailRecord{Key: key, Val: v})
 	}
-	if err := s.cfg.Journal.Apply(recs); err != nil {
-		return fmt.Errorf("cluster: apply snapshot: %w", err)
+	if err := l.dst.Apply(recs); err != nil {
+		return fmt.Errorf("cluster: apply snapshot (lane %d): %w", l.idx, err)
 	}
-	s.tl.Ack(next)
+	l.tl.Ack(next)
 	s.snapshots.Add(1)
-	s.lag.Set(s.tl.Lag())
+	l.lag.Set(l.tl.Lag())
 	return nil
 }
 
@@ -371,19 +438,23 @@ func (s *Standby) Mirror(snap ipsec.GatewaySnapshot) error {
 // by, live after Takeover.
 func (s *Standby) Gateway() *ipsec.Gateway { return s.gw }
 
-// Stats returns a snapshot of replication progress. LagRecords is read
-// from the lag gauge the replication loop publishes after every applied
-// batch — the value an operator dashboard would scrape — so it can trail
-// the instantaneous stream position by the batch currently in flight.
+// Stats returns a snapshot of replication progress. LagRecords sums the
+// per-lane lag gauges the replication loops publish after every applied
+// batch — the values an operator dashboard would scrape — so it can trail
+// the instantaneous stream position by the batches currently in flight.
 func (s *Standby) Stats() ReplicationStats {
 	s.mu.Lock()
 	err := s.runErr
 	epoch := s.srcEpoch
 	s.mu.Unlock()
+	var lag uint64
+	for _, l := range s.lanes {
+		lag += l.lag.Value()
+	}
 	return ReplicationStats{
 		AppliedRecords: s.applied.Value(),
 		SnapshotLoads:  s.snapshots.Value(),
-		LagRecords:     s.lag.Value(),
+		LagRecords:     lag,
 		SourceEpoch:    epoch,
 		Err:            err,
 	}
@@ -421,10 +492,10 @@ func (s *Standby) Stop() {
 	s.stopped = true
 	started, promoted := s.started, s.promoted
 	s.mu.Unlock()
-	// Tail.Close clears the source's sync-follower role only when this
-	// standby's tail still holds it; a successor standby's registration is
-	// never touched.
-	s.tl.Close()
+	// Tail.Close clears a source lane's sync-follower role only when this
+	// standby's tail still holds it; a successor standby's registrations
+	// are never touched.
+	s.closeTails()
 	if started {
 		<-s.done
 	}
@@ -474,17 +545,17 @@ func (s *Standby) Takeover() (*ipsec.Gateway, uint64, error) {
 	}
 	s.mu.Unlock()
 
-	// (1) Fence the deposed primary. After Fence returns its durable
-	// stream is frozen, so the drain below is exhaustive.
+	// (1) Fence the deposed primary — every lane. After Fence returns each
+	// lane's durable stream is frozen, so the drain below is exhaustive.
 	s.cfg.Source.Fence(store.ErrFenced)
 
-	// (2) Drain: the run loop keeps applying; wait until it has consumed
-	// the frozen stream. A generous deadline guards against a wedged loop —
-	// proceeding early is safe (endpoint-acknowledged saves are already
-	// applied; un-applied records only cost extra sacrifice), it just
-	// widens the false-reject window.
+	// (2) Drain: the run loops keep applying; wait until every lane has
+	// consumed its frozen stream. A generous deadline guards against a
+	// wedged loop — proceeding early is safe (endpoint-acknowledged saves
+	// are already applied; un-applied records only cost extra sacrifice),
+	// it just widens the false-reject window.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.tl.Lag() > 0 && time.Now().Before(deadline) {
+	for s.totalLag() > 0 && time.Now().Before(deadline) {
 		s.mu.Lock()
 		err := s.runErr
 		s.mu.Unlock()
@@ -493,7 +564,7 @@ func (s *Standby) Takeover() (*ipsec.Gateway, uint64, error) {
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
-	s.tl.Close()
+	s.closeTails()
 	<-s.done
 
 	s.mu.Lock()

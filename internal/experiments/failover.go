@@ -31,9 +31,13 @@ type FailoverConfig struct {
 	PacketsPerPhase int
 	// K is the SAVE interval of every SA.
 	K uint64
+	// Lanes is the number of journal commit lanes per node; <= 1 runs the
+	// single-file journal. With more, every node's medium is a laned
+	// journal and replication runs lane-to-lane.
+	Lanes int
 }
 
-// DefaultFailoverConfig sweeps loss up to 25%.
+// DefaultFailoverConfig sweeps loss up to 25% over laned journals.
 func DefaultFailoverConfig() FailoverConfig {
 	return FailoverConfig{
 		Seed:            1,
@@ -41,6 +45,7 @@ func DefaultFailoverConfig() FailoverConfig {
 		Tunnels:         4,
 		PacketsPerPhase: 200,
 		K:               25,
+		Lanes:           8,
 	}
 }
 
@@ -333,7 +338,14 @@ func failoverRow(cfg FailoverConfig, loss float64) ([]string, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	openJ := func(name string) (*store.Journal, error) {
+	// Each node's medium: a laned journal directory when cfg.Lanes asks for
+	// one, else the single-file journal (same helper reopens either — the
+	// failback reboot below must come back on the same medium shape).
+	openJ := func(name string) (store.Medium, error) {
+		if cfg.Lanes > 1 {
+			return store.OpenLanes(filepath.Join(dir, name),
+				store.LanesCount(cfg.Lanes), store.LanesWithoutSync())
+		}
 		return store.OpenJournal(filepath.Join(dir, name+".log"), store.JournalWithoutSync())
 	}
 	jA, err := openJ("peer")
@@ -506,7 +518,7 @@ func failoverRow(cfg FailoverConfig, loss float64) ([]string, error) {
 	if err := j1.Close(); err != nil {
 		return nil, err
 	}
-	j1b, err := store.OpenJournal(filepath.Join(dir, "node1.log"), store.JournalWithoutSync())
+	j1b, err := openJ("node1")
 	if err != nil {
 		return nil, err
 	}

@@ -13,9 +13,10 @@ import (
 
 // GatewayConfig configures a Gateway.
 type GatewayConfig struct {
-	// Journal is the shared durable medium for every SA's counter.
-	// Required.
-	Journal *store.Journal
+	// Journal is the shared durable medium for every SA's counter —
+	// a *store.Journal for a single commit lane, or a *store.Lanes for
+	// the laned, million-SA-scale medium. Required.
+	Journal store.Medium
 	// Pool executes the SAs' background SAVEs. Nil creates a pool of
 	// Workers workers owned (drained and stopped) by the gateway. A
 	// caller-provided pool is not closed by the gateway: close it before
@@ -89,13 +90,14 @@ type Gateway struct {
 	// outbound SAs are tracked here because the SPD has no iteration;
 	// inbound SAs live only in the SAD (iterated via Range).
 	outbound []*OutboundSA
-	// claimed holds the journal keys this gateway owns, released on
-	// RemoveInbound/RemoveOutbound and Close.
-	claimed map[string]bool
-	// savers holds each claimed key's pool handle, so removal can flush
-	// in-flight background saves before tombstoning the cell (a stale save
-	// landing after the tombstone would resurrect the retired counter).
-	savers map[string]*store.PoolSaver
+	// cells holds the journal keys this gateway owns (released on
+	// RemoveInbound/RemoveOutbound and Close) mapped to each key's pool
+	// handle — nil between the claim and saver registration — so removal
+	// can flush in-flight background saves before tombstoning the cell (a
+	// stale save landing after the tombstone would resurrect the retired
+	// counter). One map instead of a claim set plus a saver map: at
+	// million-SA scale the second map's per-entry overhead is real memory.
+	cells map[string]*store.PoolSaver
 }
 
 // claimCell claims the journal cell for key and reads whether it holds a
@@ -122,7 +124,7 @@ func (g *Gateway) claimCell(key string, spi uint32, dir string) (*store.Cell, bo
 		g.cfg.Journal.ReleaseCell(key)
 		return nil, false, fmt.Errorf("ipsec: gateway %s %#x: %w", dir, spi, err)
 	}
-	g.claimed[key] = true
+	g.cells[key] = nil
 	return cell, resume, nil
 }
 
@@ -130,8 +132,8 @@ func (g *Gateway) claimCell(key string, spi uint32, dir string) (*store.Cell, bo
 // flushing; no-op if the claim was lost to a concurrent Close.
 func (g *Gateway) registerSaver(key string, s *store.PoolSaver) {
 	g.mu.Lock()
-	if g.claimed[key] {
-		g.savers[key] = s
+	if _, claimed := g.cells[key]; claimed {
+		g.cells[key] = s
 	}
 	g.mu.Unlock()
 }
@@ -144,9 +146,8 @@ func (g *Gateway) registerSaver(key string, s *store.PoolSaver) {
 // successor's exclusivity.
 func (g *Gateway) releaseCell(key string) {
 	g.mu.Lock()
-	owned := g.claimed[key]
-	delete(g.claimed, key)
-	delete(g.savers, key)
+	_, owned := g.cells[key]
+	delete(g.cells, key)
 	g.mu.Unlock()
 	if owned {
 		g.cfg.Journal.ReleaseCell(key)
@@ -162,12 +163,11 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		cfg.K = DefaultGatewayK
 	}
 	g := &Gateway{
-		cfg:     cfg,
-		pool:    cfg.Pool,
-		sad:     NewSAD(),
-		spd:     NewSPD(),
-		claimed: make(map[string]bool),
-		savers:  make(map[string]*store.PoolSaver),
+		cfg:   cfg,
+		pool:  cfg.Pool,
+		sad:   NewSAD(),
+		spd:   NewSPD(),
+		cells: make(map[string]*store.PoolSaver),
 	}
 	if g.pool == nil {
 		g.pool = store.NewSaverPool(cfg.Workers)
@@ -630,7 +630,7 @@ func (g *Gateway) SAD() *SAD { return g.sad }
 func (g *Gateway) SPD() *SPD { return g.spd }
 
 // Journal exposes the shared durable medium.
-func (g *Gateway) Journal() *store.Journal { return g.cfg.Journal }
+func (g *Gateway) Journal() store.Medium { return g.cfg.Journal }
 
 // ResetAll crashes every SA's endpoint, as a machine reset would: all
 // volatile counters and windows are lost; the journal survives.
@@ -721,10 +721,8 @@ func (g *Gateway) snapshot() gatewaySnapshot {
 // the tombstone, guards double registration in-process).
 func (g *Gateway) retireCell(key string) error {
 	g.mu.Lock()
-	owned := g.claimed[key]
-	saver := g.savers[key]
-	delete(g.claimed, key)
-	delete(g.savers, key)
+	saver, owned := g.cells[key]
+	delete(g.cells, key)
 	g.mu.Unlock()
 	if !owned {
 		return nil
@@ -819,13 +817,13 @@ func (g *Gateway) Close() error {
 		return nil
 	}
 	g.closed = true
-	claimed := g.claimed
-	g.claimed = nil
+	cells := g.cells
+	g.cells = nil
 	g.mu.Unlock()
 	if g.ownPool {
 		g.pool.Close()
 	}
-	for key := range claimed {
+	for key := range cells {
 		g.cfg.Journal.ReleaseCell(key)
 	}
 	return nil

@@ -337,14 +337,22 @@ type InboundSA struct {
 	draining   atomic.Bool
 
 	// Per-packet tallies are sharded so a many-queue gateway's counters do
-	// not serialize its admission path on one cache line. (The outbound
+	// not serialize its admission path on one cache line, and packed into
+	// one Tallies block — the four counters move together per packet, and
+	// four separate ShardedCounters would cost 4 KiB per SA where the block
+	// costs 1 KiB, the dominant term at million-SA scale. (The outbound
 	// byte counter stays a single atomic: hard-lifetime reservation CASes
 	// it, which a sharded counter cannot do.)
-	bytes     stats.ShardedCounter
-	packets   stats.ShardedCounter
-	authFails stats.ShardedCounter
-	replays   stats.ShardedCounter
+	tallies stats.Tallies
 }
+
+// Lane indices into InboundSA.tallies.
+const (
+	tallyBytes = iota
+	tallyPackets
+	tallyAuthFails
+	tallyReplays
+)
 
 // NewInboundSA builds an inbound SA. receiver provides the anti-replay
 // service; esn enables 64-bit extended sequence number reconstruction.
@@ -479,14 +487,14 @@ func (i *InboundSA) OpenAppend(dst []byte, wire []byte) (out []byte, v core.Verd
 func (i *InboundSA) account(wire []byte, res VerifyResult) {
 	if res.Err != nil {
 		if isAuthErr(res.Err) {
-			i.authFails.Add(1)
+			i.tallies.Add(tallyAuthFails, 1)
 		}
 		return
 	}
-	i.bytes.Add(uint64(len(wire)))
-	i.packets.Add(1)
+	i.tallies.Add(tallyBytes, uint64(len(wire)))
+	i.tallies.Add(tallyPackets, 1)
 	if res.Verdict == core.VerdictDuplicate || res.Verdict == core.VerdictStale {
-		i.replays.Add(1)
+		i.tallies.Add(tallyReplays, 1)
 	}
 }
 
@@ -552,16 +560,16 @@ func (i *InboundSA) VerifyBatchInto(out []VerifyResult, buf []byte, wires [][]by
 		}
 	}
 	if bytes > 0 {
-		i.bytes.Add(bytes)
+		i.tallies.Add(tallyBytes, bytes)
 	}
 	if packets > 0 {
-		i.packets.Add(packets)
+		i.tallies.Add(tallyPackets, packets)
 	}
 	if authFails > 0 {
-		i.authFails.Add(authFails)
+		i.tallies.Add(tallyAuthFails, authFails)
 	}
 	if replays > 0 {
-		i.replays.Add(replays)
+		i.tallies.Add(tallyReplays, replays)
 	}
 	return buf
 }
@@ -571,12 +579,13 @@ func (i *InboundSA) State() LifetimeState {
 	if !i.hasLife {
 		return LifetimeOK
 	}
-	return lifetimeState(i.life, i.bytes.Value(), i.now()-i.born)
+	return lifetimeState(i.life, i.tallies.Value(tallyBytes), i.now()-i.born)
 }
 
 // Counters returns (bytes, packets, authFailures, replayDiscards).
 func (i *InboundSA) Counters() (bytes, packets, authFails, replays uint64) {
-	return i.bytes.Value(), i.packets.Value(), i.authFails.Value(), i.replays.Value()
+	return i.tallies.Value(tallyBytes), i.tallies.Value(tallyPackets),
+		i.tallies.Value(tallyAuthFails), i.tallies.Value(tallyReplays)
 }
 
 func lifetimeState(l Lifetime, bytes uint64, age time.Duration) LifetimeState {

@@ -65,3 +65,48 @@ func (c *ShardedCounter) Value() uint64 {
 	}
 	return t
 }
+
+// TallyLanes is the number of counters a Tallies block holds.
+const TallyLanes = 4
+
+// tallyStripe is one cache line of a Tallies block: all four lanes of one
+// stripe share the line, because they are bumped by the same fast-path
+// event — one admission dirties one line whether it increments one lane or
+// three, where four separate ShardedCounters would dirty four.
+type tallyStripe struct {
+	v [TallyLanes]atomic.Uint64
+	_ [64 - 8*TallyLanes]byte
+}
+
+// Tallies packs up to TallyLanes related per-event counters into ONE
+// sharded block. It keeps ShardedCounter's contention behavior (stripes are
+// cache-line padded, concurrent adders spread across them) at a quarter of
+// the memory: one block is 1 KiB where four ShardedCounters are 4 KiB —
+// the difference between 1 KiB and 4 KiB of tallies per SA is measured in
+// gigabytes at million-SA scale. Lane indices are the caller's enum.
+//
+// The zero value is all lanes at 0, ready for use.
+type Tallies struct {
+	s [counterStripes]tallyStripe
+}
+
+// Add increments lane by d; the stripe pick matches ShardedCounter.Add.
+func (t *Tallies) Add(lane int, d uint64) {
+	p := uintptr(unsafe.Pointer(&d))
+	t.s[(p>>6^p>>14)&(counterStripes-1)].v[lane].Add(d)
+}
+
+// AddSpread increments lane by d with a caller-supplied stripe hint; see
+// ShardedCounter.AddSpread.
+func (t *Tallies) AddSpread(hint uint64, lane int, d uint64) {
+	t.s[hint&(counterStripes-1)].v[lane].Add(d)
+}
+
+// Value returns the current sum of lane across all stripes.
+func (t *Tallies) Value(lane int) uint64 {
+	var sum uint64
+	for i := range t.s {
+		sum += t.s[i].v[lane].Load()
+	}
+	return sum
+}

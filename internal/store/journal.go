@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"antireplay/internal/stats"
 )
 
 // Journal file layout (big endian):
@@ -103,14 +105,25 @@ type Journal struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	f        *os.File
+	f *os.File
+	// vals holds generic string-keyed counters. With the compact-cell
+	// representation (JournalCompactCells) the fixed-width SA keys —
+	// "tx/xxxxxxxx" and "rx/xxxxxxxx" — live in pvals instead, packed into
+	// one uint64 each: no per-key string header, no per-record string
+	// allocation on replay, and cheaper map operations at million-SA scale.
+	// Every access goes through getVal/putVal/delVal, so the split is
+	// invisible outside this file; the on-disk format is identical either
+	// way (packed keys are re-encoded as their exact 11-byte names).
 	vals     map[string]uint64
+	pvals    map[uint64]uint64
 	claims   map[string]bool
+	pclaims  map[uint64]bool
 	logSize  int64
 	snapSize int64 // what a one-record-per-key snapshot would occupy
 	closed   bool
 	ioErr    error // sticky append-path write error
 	fenceErr error // sticky cluster fence; appends refused (see Fence)
+	recovery RecoveryStats
 
 	// Replication state (see tail.go). tail is a ring of the most recent
 	// records of the logical append stream — bounded by tailCap — so
@@ -143,6 +156,8 @@ type Journal struct {
 	compactAt      int64
 	batchDelay     time.Duration
 	strictRecovery bool
+	compactCells   bool
+	lane           int    // lane index within a Lanes group; -1 standalone
 	ver            uint16 // on-disk format version; fixes the frame CRC kind
 
 	// Counters.
@@ -251,10 +266,54 @@ func JournalStrictRecovery() JournalOption {
 	return func(j *Journal) { j.strictRecovery = true }
 }
 
+// JournalCompactCells switches the journal to the compact cell
+// representation: the fixed-width SA keys ("tx/" and "rx/" plus eight hex
+// digits) are held packed into one machine word each instead of as
+// individual heap strings, and replay decodes them straight from the log
+// bytes with no per-record allocation. At a million SAs this cuts both the
+// resident footprint of the key population and — by roughly 4x on commodity
+// hardware — the cold-start replay time, which is why Lanes enables it on
+// every lane. The on-disk format is unchanged (keys are re-encoded as their
+// exact 11-byte names), so a journal can move between representations
+// freely; keys outside the SA namespaces keep the generic string path.
+func JournalCompactCells() JournalOption {
+	return func(j *Journal) { j.compactCells = true }
+}
+
+// RecoveryStats reports what one OpenJournal replay found: how many
+// CRC-valid frames were applied, how many damaged regions were skipped
+// (each region is one or more frames whose original boundaries are
+// unknowable, so it counts once), and whether a torn tail was truncated.
+// FramesDropped > 0 means the medium damaged an already-written region —
+// data loss that recovery now survives and surfaces instead of silently
+// truncating everything behind it.
+type RecoveryStats struct {
+	FramesReplayed uint64
+	FramesDropped  uint64
+	TornTail       bool
+}
+
+// recoveryDropped accumulates damaged-region skips across every journal
+// recovery in the process — the operational alarm ("this medium is eating
+// frames") an operator dashboard scrapes without holding journal handles.
+var recoveryDropped stats.Counter
+
+// RecoveryDropped returns the process-wide count of damaged log regions
+// skipped during journal recovery; see RecoveryStats.FramesDropped.
+func RecoveryDropped() uint64 { return recoveryDropped.Value() }
+
+// RecoveryStats returns what this handle's open-time replay found.
+func (j *Journal) RecoveryStats() RecoveryStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovery
+}
+
 // OpenJournal opens (or creates) the journal at path and recovers its state
 // by replaying the log: the value of each key is the maximum over its valid
-// records, and a torn or corrupt tail is truncated away. A corrupt header
-// returns ErrCorrupt.
+// records, a damaged mid-log region is skipped (see RecoveryStats), and a
+// torn or corrupt tail is truncated away. A corrupt header returns
+// ErrCorrupt.
 func OpenJournal(path string, opts ...JournalOption) (*Journal, error) {
 	j := &Journal{
 		path:      path,
@@ -263,15 +322,135 @@ func OpenJournal(path string, opts ...JournalOption) (*Journal, error) {
 		compactAt: DefaultCompactAt,
 		tailCap:   DefaultTailBuffer,
 		snapSize:  journalHeaderLen,
+		lane:      -1,
 	}
 	j.cond = sync.NewCond(&j.mu)
 	for _, o := range opts {
 		o(j)
 	}
+	if j.compactCells {
+		j.pvals = make(map[uint64]uint64)
+	}
 	if err := j.recover(); err != nil {
 		return nil, err
 	}
 	return j, nil
+}
+
+// Packed SA keys. spiKeyLen-byte journal keys of the form "tx/xxxxxxxx" or
+// "rx/xxxxxxxx" (exactly eight lowercase hex digits — the format
+// ipsec.OutboundKey/InboundKey pin on disk) pack losslessly into a uint64:
+// bit 33 marks the word as packed, bit 32 carries the direction, the low 32
+// bits the SPI. packKey/unpackKey are exact inverses over that key shape,
+// so the representation never changes which bytes reach the log.
+const (
+	spiKeyLen   = 11
+	packedMark  = 1 << 33 // distinguishes a packed word from any zero value
+	packedRxBit = 1 << 32 // direction: set for "rx/", clear for "tx/"
+)
+
+// packKeyAny packs an SA-shaped key held as either string or []byte.
+func packKeyAny[T string | []byte](k T) (uint64, bool) {
+	if len(k) != spiKeyLen || k[2] != '/' || k[1] != 'x' {
+		return 0, false
+	}
+	var pk uint64
+	switch k[0] {
+	case 't':
+	case 'r':
+		pk = packedRxBit
+	default:
+		return 0, false
+	}
+	var spi uint64
+	for i := 3; i < spiKeyLen; i++ {
+		c := k[i]
+		switch {
+		case c >= '0' && c <= '9':
+			spi = spi<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			spi = spi<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return packedMark | pk | spi, true
+}
+
+func packKey(key string) (uint64, bool)    { return packKeyAny(key) }
+func packKeyBytes(b []byte) (uint64, bool) { return packKeyAny(b) }
+
+// appendPackedKey re-encodes a packed key as its exact on-disk bytes.
+func appendPackedKey(buf []byte, pk uint64) []byte {
+	dir := "tx/"
+	if pk&packedRxBit != 0 {
+		dir = "rx/"
+	}
+	buf = append(buf, dir...)
+	for i := 0; i < 8; i++ {
+		buf = append(buf, hexDigits[(pk>>(28-4*i))&0xf])
+	}
+	return buf
+}
+
+const hexDigits = "0123456789abcdef"
+
+// unpackKey materializes a packed key as a string (Values, compaction
+// fallback, tail records).
+func unpackKey(pk uint64) string {
+	var b [spiKeyLen]byte
+	_ = appendPackedKey(b[:0], pk)
+	return string(b[:])
+}
+
+// getVal looks up key in whichever representation holds it (mu held).
+func (j *Journal) getVal(key string) (uint64, bool) {
+	if j.compactCells {
+		if pk, ok := packKey(key); ok {
+			v, ok2 := j.pvals[pk]
+			return v, ok2
+		}
+	}
+	v, ok := j.vals[key]
+	return v, ok
+}
+
+// putVal stores key=v in whichever representation owns the key (mu held).
+func (j *Journal) putVal(key string, v uint64) {
+	if j.compactCells {
+		if pk, ok := packKey(key); ok {
+			j.pvals[pk] = v
+			return
+		}
+	}
+	j.vals[key] = v
+}
+
+// delVal erases key from whichever representation owns it (mu held).
+func (j *Journal) delVal(key string) {
+	if j.compactCells {
+		if pk, ok := packKey(key); ok {
+			delete(j.pvals, pk)
+			return
+		}
+	}
+	delete(j.vals, key)
+}
+
+// numKeys returns the live key count across both representations (mu held).
+func (j *Journal) numKeys() int { return len(j.vals) + len(j.pvals) }
+
+// valsSnapshot merges both representations into one string-keyed map — the
+// shape Values and Tail.Snapshot expose (mu held).
+func (j *Journal) valsSnapshot() map[string]uint64 {
+	out := make(map[string]uint64, j.numKeys())
+	for k, v := range j.vals {
+		out[k] = v
+	}
+	for pk, v := range j.pvals {
+		out[unpackKey(pk)] = v
+	}
+	return out
 }
 
 // recover replays the log into j.vals and leaves j.f positioned for appends.
@@ -298,59 +477,82 @@ func (j *Journal) recover() error {
 		return fmt.Errorf("%w: journal version %d, want <= %d", ErrCorrupt, ver, journalVersion)
 	}
 
-	// Replay until the first frame that does not parse, which ends the
-	// valid prefix. Everything from there is discarded as a torn tail.
-	// That is exactly right for a crash: group commit write()s several
-	// records per fsync, and writeback filesystems persist those dirty
-	// pages in any order, so a power loss can leave a bad frame with
-	// intact unacknowledged records after it — none of them covered by a
-	// completed SAVE (their fsync never returned), so dropping them keeps
-	// the paper's guarantee. The one case truncation gets wrong is media
-	// corruption of an already-fsynced record (a durable counter then
-	// silently rolls back); deployments on storage that does not checksum
-	// itself can opt into JournalStrictRecovery, which refuses to open
-	// when CRC-valid records follow the bad frame — evidence the damage
-	// is not a tail tear.
+	// Replay every CRC-valid frame, in order. A frame that does not parse
+	// starts a damaged region; the byte-wise probe looks for a valid frame
+	// behind it. When none follows, the region is a torn tail — exactly
+	// what a crash leaves (group commit write()s several records per
+	// fsync, and writeback filesystems persist dirty pages in any order),
+	// and none of those records were covered by a completed SAVE, so the
+	// tail is truncated away. When valid frames DO follow, the damage is
+	// mid-log: media corruption, or a multi-page power-loss tear whose
+	// later pages persisted before earlier ones. Recovery then skips the
+	// damaged region and keeps replaying — replaying more than was
+	// acknowledged is always safe (counters are monotone; a larger
+	// recovered value only widens the wake-up sacrifice, never re-accepts
+	// a replay), whereas the old truncate-everything-behind-it answer
+	// silently rolled durable counters back. The skip is surfaced through
+	// RecoveryStats and the process-wide RecoveryDropped counter;
+	// JournalStrictRecovery instead refuses the open (ErrCorrupt), for
+	// deployments that want a human in the loop before trusting a medium
+	// that damaged an acknowledged record.
+	if j.compactCells && len(data) > 64*journalFrameOverhead {
+		// Presize for replay: SA frames are spiKeyLen-keyed, so the frame
+		// count is close to size/(overhead+spiKeyLen); duplicates per key
+		// only make this an overestimate, which is what a presize wants.
+		j.pvals = make(map[uint64]uint64, len(data)/(journalFrameOverhead+spiKeyLen))
+	}
 	off := journalHeaderLen
 	for off < len(data) {
-		rec, n, ok := parseRecord(j.ver, data[off:])
+		kb, v, del, n, ok := parseFrame(j.ver, data[off:])
 		if !ok {
+			next := probeValidFrame(j.ver, data, off+1)
+			if next < 0 {
+				break // torn tail: truncate from off
+			}
 			if j.strictRecovery {
-				// The probe is byte-wise, so a corrupt length field in the
-				// bad frame cannot hide the records behind it; a chance
-				// CRC match over garbage has probability 2^-32 per offset.
-				// CRC work is budgeted so a large corrupt tail cannot turn
-				// the open into an O(tail²) stall; exhausting the budget
-				// without a valid frame falls back to the tear verdict.
-				budget := int64(1 << 22)
-				for probe := off + 1; probe+minRecordLen <= len(data) && budget > 0; probe++ {
-					// The CRC only runs over complete frames; bill their
-					// declared length against the budget.
-					n2 := int(binary.BigEndian.Uint16(data[probe:probe+2]) &^ journalTombstone)
-					if probe+2+8+n2+4 > len(data) {
-						continue // incomplete frame: no CRC computed
-					}
-					if _, _, valid := parseRecord(j.ver, data[probe:]); valid {
-						return fmt.Errorf("%w: journal record at offset %d (valid records follow)", ErrCorrupt, off)
-					}
-					budget -= int64(2 + 8 + n2 + 4)
-				}
+				return fmt.Errorf("%w: journal record at offset %d (valid records follow)", ErrCorrupt, off)
 			}
-			break // torn tail: truncate from off
+			j.recovery.FramesDropped++
+			recoveryDropped.Add(1)
+			off = next
+			continue
 		}
-		if rec.del {
-			if _, seen := j.vals[rec.key]; seen {
-				j.snapSize -= frameLen(rec.key)
-				delete(j.vals, rec.key)
+		j.recovery.FramesReplayed++
+		if j.compactCells {
+			if pk, pok := packKeyBytes(kb); pok {
+				// The compact fast path: no string is ever materialized, so
+				// a million-record replay allocates nothing per record.
+				if del {
+					if _, seen := j.pvals[pk]; seen {
+						j.snapSize -= int64(n)
+						delete(j.pvals, pk)
+					}
+				} else if cur, seen := j.pvals[pk]; !seen || v > cur {
+					if !seen {
+						j.snapSize += int64(n)
+					}
+					j.pvals[pk] = v
+				}
+				off += n
+				continue
 			}
-		} else if cur, seen := j.vals[rec.key]; !seen || rec.v > cur {
+		}
+		// Generic keys: the map[string(kb)] lookups below are alloc-free;
+		// only a first insert materializes the key string.
+		if del {
+			if _, seen := j.vals[string(kb)]; seen {
+				j.snapSize -= int64(n)
+				delete(j.vals, string(kb))
+			}
+		} else if cur, seen := j.vals[string(kb)]; !seen || v > cur {
 			if !seen {
 				j.snapSize += int64(n)
 			}
-			j.vals[rec.key] = rec.v
+			j.vals[string(kb)] = v
 		}
 		off += n
 	}
+	j.recovery.TornTail = off < len(data)
 
 	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o600)
 	if err != nil {
@@ -411,44 +613,62 @@ func (j *Journal) create() error {
 	return nil
 }
 
-type journalRecord struct {
-	key string
-	v   uint64
-	del bool
-}
-
 // minRecordLen is the size of a frame with an empty key (which save()
-// rejects, so every real frame is larger).
-const minRecordLen = 2 + 8 + 4
+// rejects, so every real frame is larger); journalFrameOverhead is the
+// same quantity read as "frame bytes that are not key bytes".
+const (
+	minRecordLen         = 2 + 8 + 4
+	journalFrameOverhead = minRecordLen
+)
 
 // frameLen is the encoded size of a (non-tombstone) frame for key; every
 // save record of one key has the same size, which keeps the snapshot-size
 // accounting exact across deletes.
 func frameLen(key string) int64 { return int64(2 + 8 + len(key) + 4) }
 
-// parseRecord decodes one frame from b under the given format version,
-// returning the record, its encoded length, and whether the frame was
-// complete and CRC-valid.
-func parseRecord(ver uint16, b []byte) (journalRecord, int, bool) {
+// parseFrame decodes one frame from b under the given format version,
+// returning the key (aliasing b — replay consumes it without allocating),
+// the value, the tombstone flag, the encoded length, and whether the frame
+// was complete and CRC-valid.
+func parseFrame(ver uint16, b []byte) (key []byte, v uint64, del bool, n int, ok bool) {
 	if len(b) < minRecordLen {
-		return journalRecord{}, 0, false
+		return nil, 0, false, 0, false
 	}
 	lf := binary.BigEndian.Uint16(b[0:2])
-	n := int(lf &^ journalTombstone)
-	total := 2 + 8 + n + 4
+	kn := int(lf &^ journalTombstone)
+	total := 2 + 8 + kn + 4
 	if len(b) < total {
-		return journalRecord{}, 0, false
+		return nil, 0, false, 0, false
 	}
-	body := b[:2+8+n]
-	want := binary.BigEndian.Uint32(b[2+8+n : total])
+	body := b[:2+8+kn]
+	want := binary.BigEndian.Uint32(b[2+8+kn : total])
 	if journalCRC(ver, body) != want {
-		return journalRecord{}, 0, false
+		return nil, 0, false, 0, false
 	}
-	return journalRecord{
-		key: string(b[10 : 10+n]),
-		v:   binary.BigEndian.Uint64(b[2:10]),
-		del: lf&journalTombstone != 0,
-	}, total, true
+	return b[10 : 10+kn], binary.BigEndian.Uint64(b[2:10]), lf&journalTombstone != 0, total, true
+}
+
+// probeValidFrame scans for the next CRC-valid frame at or after start,
+// byte-wise, so a corrupt length field cannot hide the records behind it;
+// a chance CRC match over garbage has probability 2^-32 per offset. CRC
+// work is budgeted so a large damaged region cannot turn the open into an
+// O(region²) stall; exhausting the budget without a valid frame returns -1,
+// the tear verdict.
+func probeValidFrame(ver uint16, data []byte, start int) int {
+	budget := int64(1 << 22)
+	for probe := start; probe+minRecordLen <= len(data) && budget > 0; probe++ {
+		// The CRC only runs over complete frames; bill their declared
+		// length against the budget.
+		n2 := int(binary.BigEndian.Uint16(data[probe:probe+2]) &^ journalTombstone)
+		if probe+2+8+n2+4 > len(data) {
+			continue // incomplete frame: no CRC computed
+		}
+		if _, _, _, _, ok := parseFrame(ver, data[probe:]); ok {
+			return probe
+		}
+		budget -= int64(2 + 8 + n2 + 4)
+	}
+	return -1
 }
 
 func appendRecord(ver uint16, buf []byte, key string, v uint64, del bool) []byte {
@@ -460,6 +680,17 @@ func appendRecord(ver uint16, buf []byte, key string, v uint64, del bool) []byte
 	buf = binary.BigEndian.AppendUint16(buf, lf)
 	buf = binary.BigEndian.AppendUint64(buf, v)
 	buf = append(buf, key...)
+	return binary.BigEndian.AppendUint32(buf, journalCRC(ver, buf[start:]))
+}
+
+// appendPackedRecord encodes a save frame for a packed SA key without
+// materializing its string: compaction of a million-cell lane emits the
+// identical bytes appendRecord would, with zero per-key allocations.
+func appendPackedRecord(ver uint16, buf []byte, pk uint64, v uint64) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, spiKeyLen)
+	buf = binary.BigEndian.AppendUint64(buf, v)
+	buf = appendPackedKey(buf, pk)
 	return binary.BigEndian.AppendUint32(buf, journalCRC(ver, buf[start:]))
 }
 
@@ -498,7 +729,7 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 		return err
 	}
 	if del {
-		if _, seen := j.vals[key]; !seen {
+		if _, seen := j.getVal(key); !seen {
 			j.mu.Unlock()
 			*bp = rec[:0]
 			framePool.Put(bp)
@@ -536,12 +767,12 @@ func (j *Journal) stageLocked(key string, v uint64, del bool, rec []byte) uint64
 	j.logSize += int64(len(rec))
 	if del {
 		j.snapSize -= frameLen(key)
-		delete(j.vals, key)
-	} else if cur, seen := j.vals[key]; !seen || v > cur {
+		j.delVal(key)
+	} else if cur, seen := j.getVal(key); !seen || v > cur {
 		if !seen {
 			j.snapSize += int64(len(rec))
 		}
-		j.vals[key] = v
+		j.putVal(key, v)
 	}
 	mySeq := j.appendSeq
 	j.appendSeq++
@@ -732,12 +963,15 @@ func (j *Journal) compactLocked() error {
 		return fmt.Errorf("store: journal compact %s: %w", step, cause)
 	}
 
-	buf := make([]byte, 0, journalHeaderLen+len(j.vals)*32)
+	buf := make([]byte, 0, journalHeaderLen+j.numKeys()*32)
 	buf = append(buf, journalMagic...)
 	buf = binary.BigEndian.AppendUint16(buf, j.ver) // preserve the file's frame format
 	buf = append(buf, 0, 0)
 	for key, v := range j.vals {
 		buf = appendRecord(j.ver, buf, key, v, false)
+	}
+	for pk, v := range j.pvals {
+		buf = appendPackedRecord(j.ver, buf, pk, v)
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		return fail("write", err)
@@ -793,7 +1027,7 @@ func (j *Journal) fetch(key string) (uint64, bool, error) {
 	if j.closed {
 		return 0, false, ErrClosed
 	}
-	v, ok := j.vals[key]
+	v, ok := j.getVal(key)
 	return v, ok, nil
 }
 
@@ -814,6 +1048,18 @@ func (j *Journal) ClaimCell(key string) (*Cell, error) {
 	if j.closed {
 		return nil, ErrClosed
 	}
+	if j.compactCells {
+		if pk, ok := packKey(key); ok {
+			if j.pclaims == nil {
+				j.pclaims = make(map[uint64]bool)
+			}
+			if j.pclaims[pk] {
+				return nil, fmt.Errorf("%w: %q", ErrCellClaimed, key)
+			}
+			j.pclaims[pk] = true
+			return &Cell{j: j, key: key}, nil
+		}
+	}
 	if j.claims == nil {
 		j.claims = make(map[string]bool)
 	}
@@ -828,6 +1074,12 @@ func (j *Journal) ClaimCell(key string) (*Cell, error) {
 func (j *Journal) ReleaseCell(key string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.compactCells {
+		if pk, ok := packKey(key); ok {
+			delete(j.pclaims, pk)
+			return
+		}
+	}
 	delete(j.claims, key)
 }
 
@@ -859,6 +1111,12 @@ func (c *Cell) Delete() error { return c.j.delete(c.key) }
 
 // Key returns the cell's journal key.
 func (c *Cell) Key() string { return c.key }
+
+// Lane returns the index of the commit lane this cell persists into, or -1
+// when its journal is a standalone medium. SaverPool routes handles by this
+// value, so all of one lane's background saves drain on one worker and
+// group-commit into that lane's fsyncs.
+func (c *Cell) Lane() int { return c.j.lane }
 
 // Close waits for any in-flight group commit, flushes whatever is still
 // staged, syncs, and closes the log. Further saves and fetches return
@@ -917,7 +1175,7 @@ func (j *Journal) Path() string { return j.path }
 func (j *Journal) Keys() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.vals)
+	return j.numKeys()
 }
 
 // LogSize returns the current log size in bytes.

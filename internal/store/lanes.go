@@ -1,0 +1,466 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// This file shards the journal into commit lanes. A Lanes value is N
+// independent Journals — each its own append-only CRC-framed segment with
+// its own staging buffer, elected committer, and fsync — behind the same
+// cell/claim/fence surface a single Journal exposes (the Medium interface).
+// Keys route to lanes by the same Fibonacci SPI hash the SAD uses for its
+// stripes, so the counters of SAs that never contend in the datapath never
+// contend in the commit path either: group commits parallelize across
+// lanes (and across devices, when lanes are spread over different paths),
+// cold-start recovery replays every lane concurrently and scales with
+// cores, and compaction stalls one lane instead of the world.
+//
+// Durability per key is exactly a single Journal's — a key lives entirely
+// in its lane, so "SAVE completed" still means "this record's lane fsynced
+// it (and its sync follower applied it)". Cross-lane ordering is
+// deliberately unspecified, matching the paper's model: each SA's counter
+// stream is independent, and nothing in the protocol compares sequence
+// numbers across SAs.
+
+// Medium is the durable multi-counter surface shared by *Journal (one
+// commit lane) and *Lanes (many): everything a Gateway or a cluster
+// Standby needs from its persistent store. Code written against Medium
+// runs unchanged over either — the single-file journal of a small tunnel
+// endpoint or the 64-lane medium of a million-SA gateway.
+type Medium interface {
+	// Cell, ClaimCell, ReleaseCell and Delete project and retire one
+	// key's durable counter; see Journal.
+	Cell(key string) *Cell
+	ClaimCell(key string) (*Cell, error)
+	ReleaseCell(key string)
+	Delete(key string) error
+	// Values and Keys expose the live state; LogSize, Appends, Syncs and
+	// Compactions the medium's size and I/O counters (summed over lanes).
+	Values() map[string]uint64
+	Keys() int
+	LogSize() int64
+	Appends() uint64
+	Syncs() uint64
+	Compactions() uint64
+	// Fence and Fenced are the cluster promotion fence; fencing a laned
+	// medium fences every lane.
+	Fence(err error)
+	Fenced() error
+	// LaneJournals returns the underlying commit lanes — a one-element
+	// slice for a standalone Journal. Replication attaches per lane.
+	LaneJournals() []*Journal
+	// RecoveryStats aggregates what open-time replay found across lanes.
+	RecoveryStats() RecoveryStats
+	// Path is the medium's filesystem location: the log file of a
+	// standalone Journal, the lane directory of a Lanes.
+	Path() string
+	Close() error
+}
+
+var (
+	_ Medium = (*Journal)(nil)
+	_ Medium = (*Lanes)(nil)
+)
+
+// LaneJournals returns the journal itself as its only commit lane.
+func (j *Journal) LaneJournals() []*Journal { return []*Journal{j} }
+
+// DefaultLaneCount is the lane count OpenLanes uses when LanesCount is not
+// given — aligned with the SAD's 64 stripes (and hashed identically), so a
+// datapath shard maps onto a commit lane one-to-one.
+const DefaultLaneCount = 64
+
+// maxLaneCount bounds the manifest's lane count; beyond this the per-lane
+// fixed costs (file descriptors, staging slabs) dwarf any batching win.
+const maxLaneCount = 1 << 10
+
+// Lane manifest layout (big endian): 4 bytes magic "ARJM" | 2 bytes
+// version (1) | 2 bytes lane count | 4 bytes CRC-32C of the preceding 8.
+// The manifest is authoritative: a reopened directory always uses its
+// recorded lane count (the key→lane hash must match what wrote the lane
+// files), so LanesCount only applies to a fresh directory.
+const (
+	laneManifestMagic = "ARJM"
+	laneManifestVer   = 1
+	laneManifestLen   = 12
+	laneManifestName  = "MANIFEST"
+)
+
+// Lanes is a laned persistent medium: a directory of N commit-lane
+// journals under one manifest. It implements Medium; every per-key
+// operation routes to the key's lane by SPI hash, and the aggregate
+// operations (Values, Fence, Close, ...) fan out. Safe for concurrent use.
+type Lanes struct {
+	dir      string
+	lanes    []*Journal
+	laneBits uint
+}
+
+// lanesConfig collects LanesOption state before the journals exist.
+type lanesConfig struct {
+	count    int
+	spread   []string
+	jopts    []JournalOption
+	withSync bool
+}
+
+// LanesOption configures OpenLanes.
+type LanesOption func(*lanesConfig)
+
+// LanesCount sets the lane count for a FRESH directory (power of two,
+// 1..1024). An existing directory's manifest always wins; see OpenLanes.
+func LanesCount(n int) LanesOption {
+	return func(c *lanesConfig) { c.count = n }
+}
+
+// LanesWithoutSync disables every fsync in every lane; see
+// JournalWithoutSync.
+func LanesWithoutSync() LanesOption {
+	return func(c *lanesConfig) {
+		c.withSync = false
+		c.jopts = append(c.jopts, JournalWithoutSync())
+	}
+}
+
+// LanesCompactAt sets each lane's compaction threshold (per lane, not
+// aggregate); see JournalCompactAt.
+func LanesCompactAt(n int64) LanesOption {
+	return func(c *lanesConfig) { c.jopts = append(c.jopts, JournalCompactAt(n)) }
+}
+
+// LanesBatchDelay sets each lane's group-commit linger; see
+// JournalBatchDelay.
+func LanesBatchDelay(d time.Duration) LanesOption {
+	return func(c *lanesConfig) { c.jopts = append(c.jopts, JournalBatchDelay(d)) }
+}
+
+// LanesTailBuffer sets each lane's retained-record window for tailing
+// readers; see JournalTailBuffer.
+func LanesTailBuffer(n int) LanesOption {
+	return func(c *lanesConfig) { c.jopts = append(c.jopts, JournalTailBuffer(n)) }
+}
+
+// LanesStrictRecovery makes every lane refuse to open when CRC-valid
+// records follow a damaged frame; see JournalStrictRecovery.
+func LanesStrictRecovery() LanesOption {
+	return func(c *lanesConfig) { c.jopts = append(c.jopts, JournalStrictRecovery()) }
+}
+
+// LanesSpread places lane files round-robin across the given directories
+// instead of the manifest directory — lanes on different devices commit on
+// different fsync streams, so the medium's aggregate fsync bandwidth is
+// the sum of the devices'. The manifest stays in the primary directory;
+// reopening must pass the same spread.
+func LanesSpread(dirs ...string) LanesOption {
+	return func(c *lanesConfig) { c.spread = append([]string(nil), dirs...) }
+}
+
+// laneFileName returns lane i's file name within its directory.
+func laneFileName(i int) string { return fmt.Sprintf("lane-%03d.log", i) }
+
+// lanePath returns lane i's full path under the configured spread.
+func (c *lanesConfig) lanePath(dir string, i int) string {
+	if len(c.spread) > 0 {
+		dir = c.spread[i%len(c.spread)]
+	}
+	return filepath.Join(dir, laneFileName(i))
+}
+
+// OpenLanes opens (or creates) the laned journal rooted at dir: the
+// manifest is read (or written, for a fresh directory), and every lane
+// replays its segment concurrently — cold-start recovery of the whole
+// medium costs one lane's replay per core instead of one serial pass, and
+// the per-lane maxima merge trivially because a key lives in exactly one
+// lane. Lanes always run with the compact cell representation
+// (JournalCompactCells): this is the medium built for million-SA scale.
+func OpenLanes(dir string, opts ...LanesOption) (*Lanes, error) {
+	cfg := &lanesConfig{count: DefaultLaneCount, withSync: true}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: lanes dir: %w", err)
+	}
+	for _, d := range cfg.spread {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: lanes spread dir: %w", err)
+		}
+	}
+	count, err := readOrWriteManifest(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	bits := uint(0)
+	for 1<<bits < count {
+		bits++
+	}
+
+	// Open every lane concurrently: on a many-core host the replays — the
+	// dominant cold-start cost — run in parallel; on one core they simply
+	// interleave. Each lane gets the compact cell representation and its
+	// lane index (cells report it for SaverPool routing).
+	lanes := make([]*Journal, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for i := 0; i < count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := append([]JournalOption{JournalCompactCells()}, cfg.jopts...)
+			j, err := OpenJournal(cfg.lanePath(dir, i), opts...)
+			if err != nil {
+				errs[i] = fmt.Errorf("store: lane %d: %w", i, err)
+				return
+			}
+			j.lane = i
+			lanes[i] = j
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, j := range lanes {
+				if j != nil {
+					j.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return &Lanes{dir: dir, lanes: lanes, laneBits: bits}, nil
+}
+
+// readOrWriteManifest returns the directory's lane count, creating the
+// manifest for a fresh directory. The manifest is durable before any lane
+// file exists, so a reset between them recovers an empty laned medium
+// rather than a directory whose lane count is guesswork.
+func readOrWriteManifest(dir string, cfg *lanesConfig) (int, error) {
+	path := filepath.Join(dir, laneManifestName)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if len(data) != laneManifestLen || string(data[0:4]) != laneManifestMagic {
+			return 0, fmt.Errorf("%w: lane manifest %q", ErrCorrupt, path)
+		}
+		if got, want := binary.BigEndian.Uint32(data[8:12]), crc32.Checksum(data[:8], castagnoli); got != want {
+			return 0, fmt.Errorf("%w: lane manifest checksum", ErrCorrupt)
+		}
+		if ver := binary.BigEndian.Uint16(data[4:6]); ver != laneManifestVer {
+			return 0, fmt.Errorf("%w: lane manifest version %d", ErrCorrupt, ver)
+		}
+		count := int(binary.BigEndian.Uint16(data[6:8]))
+		if count < 1 || count > maxLaneCount || count&(count-1) != 0 {
+			return 0, fmt.Errorf("%w: lane manifest count %d", ErrCorrupt, count)
+		}
+		return count, nil
+	case os.IsNotExist(err):
+		count := cfg.count
+		if count < 1 || count > maxLaneCount || count&(count-1) != 0 {
+			return 0, fmt.Errorf("store: lane count %d: want a power of two in [1, %d]", count, maxLaneCount)
+		}
+		buf := make([]byte, 0, laneManifestLen)
+		buf = append(buf, laneManifestMagic...)
+		buf = binary.BigEndian.AppendUint16(buf, laneManifestVer)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(count))
+		buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+		if err != nil {
+			return 0, fmt.Errorf("store: lane manifest create: %w", err)
+		}
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("store: lane manifest write: %w", err)
+		}
+		if cfg.withSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return 0, fmt.Errorf("store: lane manifest sync: %w", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return 0, fmt.Errorf("store: lane manifest close: %w", err)
+		}
+		if cfg.withSync {
+			if err := syncDir(dir); err != nil {
+				return 0, err
+			}
+		}
+		return count, nil
+	default:
+		return 0, fmt.Errorf("store: lane manifest read: %w", err)
+	}
+}
+
+// laneOf routes a key to its lane. SA keys ("tx/xxxxxxxx", "rx/xxxxxxxx")
+// hash their SPI with the SAD's Fibonacci multiplier, so an SA's commit
+// lane is the same stripe its datapath admission runs on; other keys (the
+// cluster epoch, tests) hash their bytes first. With one lane every key
+// maps to lane 0 and Lanes degenerates to a Journal with routing overhead
+// of a few nanoseconds.
+func (l *Lanes) laneOf(key string) int {
+	if l.laneBits == 0 {
+		return 0
+	}
+	var h uint32
+	if pk, ok := packKey(key); ok {
+		h = uint32(pk)
+	} else {
+		h = 2166136261 // FNV-1a over the key bytes
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint32(key[i])) * 16777619
+		}
+	}
+	return int((h * 2654435761) >> (32 - l.laneBits))
+}
+
+// Lane returns the journal of the lane that owns key.
+func (l *Lanes) Lane(key string) *Journal { return l.lanes[l.laneOf(key)] }
+
+// LaneCount returns the number of commit lanes.
+func (l *Lanes) LaneCount() int { return len(l.lanes) }
+
+// LaneJournals returns the underlying commit lanes, in lane order. The
+// slice is shared; do not mutate it.
+func (l *Lanes) LaneJournals() []*Journal { return l.lanes }
+
+// Path returns the manifest directory.
+func (l *Lanes) Path() string { return l.dir }
+
+// Cell returns a Store view of one key in its lane; see Journal.Cell.
+func (l *Lanes) Cell(key string) *Cell { return l.Lane(key).Cell(key) }
+
+// ClaimCell claims key's cell in its lane; see Journal.ClaimCell.
+func (l *Lanes) ClaimCell(key string) (*Cell, error) { return l.Lane(key).ClaimCell(key) }
+
+// ReleaseCell drops the claim on key, if held; see Journal.ReleaseCell.
+func (l *Lanes) ReleaseCell(key string) { l.Lane(key).ReleaseCell(key) }
+
+// Delete durably retires key in its lane; see Journal.Delete.
+func (l *Lanes) Delete(key string) error { return l.Lane(key).Delete(key) }
+
+// Values merges every lane's live state. Keys are disjoint across lanes
+// (routing is deterministic), so the merge is a plain union.
+func (l *Lanes) Values() map[string]uint64 {
+	n := 0
+	for _, j := range l.lanes {
+		n += j.Keys()
+	}
+	out := make(map[string]uint64, n)
+	for _, j := range l.lanes {
+		j.mu.Lock()
+		for k, v := range j.vals {
+			out[k] = v
+		}
+		for pk, v := range j.pvals {
+			out[unpackKey(pk)] = v
+		}
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// Keys returns the number of distinct counters across all lanes.
+func (l *Lanes) Keys() int {
+	n := 0
+	for _, j := range l.lanes {
+		n += j.Keys()
+	}
+	return n
+}
+
+// LogSize returns the medium's aggregate log size in bytes.
+func (l *Lanes) LogSize() int64 {
+	var n int64
+	for _, j := range l.lanes {
+		n += j.LogSize()
+	}
+	return n
+}
+
+// Appends returns the aggregate record count appended across lanes.
+func (l *Lanes) Appends() uint64 {
+	var n uint64
+	for _, j := range l.lanes {
+		n += j.Appends()
+	}
+	return n
+}
+
+// Syncs returns the aggregate fsync count across lanes.
+func (l *Lanes) Syncs() uint64 {
+	var n uint64
+	for _, j := range l.lanes {
+		n += j.Syncs()
+	}
+	return n
+}
+
+// Compactions returns the aggregate completed compactions across lanes.
+func (l *Lanes) Compactions() uint64 {
+	var n uint64
+	for _, j := range l.lanes {
+		n += j.Compactions()
+	}
+	return n
+}
+
+// RecoveryStats aggregates what every lane's open-time replay found.
+func (l *Lanes) RecoveryStats() RecoveryStats {
+	var rs RecoveryStats
+	for _, j := range l.lanes {
+		s := j.RecoveryStats()
+		rs.FramesReplayed += s.FramesReplayed
+		rs.FramesDropped += s.FramesDropped
+		rs.TornTail = rs.TornTail || s.TornTail
+	}
+	return rs
+}
+
+// Fence permanently rejects writes on every lane; see Journal.Fence. A
+// cluster promotion fences the whole medium — a deposed primary must not
+// advance any lane.
+func (l *Lanes) Fence(err error) {
+	for _, j := range l.lanes {
+		j.Fence(err)
+	}
+}
+
+// Fenced returns the first lane's fencing error, or nil while the medium
+// accepts writes. Lanes are only ever fenced together (Fence above), so
+// one lane speaks for all.
+func (l *Lanes) Fenced() error {
+	for _, j := range l.lanes {
+		if err := j.Fenced(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every lane, returning the first error. Lane closes run
+// concurrently: each lane's final flush and fsync overlap the others',
+// exactly as their group commits do in steady state.
+func (l *Lanes) Close() error {
+	errs := make([]error, len(l.lanes))
+	var wg sync.WaitGroup
+	for i, j := range l.lanes {
+		wg.Add(1)
+		go func(i int, j *Journal) {
+			defer wg.Done()
+			errs[i] = j.Close()
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

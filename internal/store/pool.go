@@ -1,6 +1,9 @@
 package store
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // SaverPool executes background SAVEs for many stores on a bounded set of
 // workers — the gateway-scale replacement for one AsyncSaver goroutine per
@@ -9,53 +12,78 @@ import "sync"
 // monotonicity invariant: a handle is processed by at most one worker at a
 // time, so a stale value can never land after a newer one.
 //
-// With 100k SAs a pool of a few workers bounds goroutines and keeps the
-// durable medium's queue short, and when the stores are cells of one
-// Journal the concurrent worker saves group-commit into shared fsyncs.
+// The pool is sharded: each worker owns a private queue, and a handle is
+// pinned to one shard for its lifetime. Stores that report a commit lane
+// (Cell.Lane — cells of a laned journal) route by lane, so all of one
+// lane's background saves drain on one worker and group-commit into that
+// lane's fsyncs instead of scattering every lane's traffic across every
+// worker; lane-less stores round-robin. With 100k SAs a pool of a few
+// workers bounds goroutines and keeps the durable medium's queues short.
 type SaverPool struct {
+	shards []poolShard
+	rr     atomic.Uint32 // round-robin cursor for lane-less handles
+	wg     sync.WaitGroup
+}
+
+// poolShard is one worker's private queue.
+type poolShard struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*PoolSaver // handles with pending work, each present at most once
 	closed bool
-	wg     sync.WaitGroup
 }
 
 // DefaultPoolWorkers is the worker count NewSaverPool uses when given <= 0.
 const DefaultPoolWorkers = 8
 
+// laner is implemented by stores that persist into one commit lane of a
+// laned medium; see Cell.Lane.
+type laner interface{ Lane() int }
+
 // NewSaverPool starts a pool of the given number of workers (<= 0 means
-// DefaultPoolWorkers).
+// DefaultPoolWorkers), one queue shard per worker.
 func NewSaverPool(workers int) *SaverPool {
 	if workers <= 0 {
 		workers = DefaultPoolWorkers
 	}
-	p := &SaverPool{}
-	p.cond = sync.NewCond(&p.mu)
+	p := &SaverPool{shards: make([]poolShard, workers)}
 	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go p.worker()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.cond = sync.NewCond(&sh.mu)
+		go p.worker(sh)
 	}
 	return p
 }
 
 // Saver returns a BackgroundSaver-compatible handle persisting to st
-// through the pool.
+// through the pool. Handles over lane-reporting stores pin to the lane's
+// shard; others round-robin across shards.
 func (p *SaverPool) Saver(st Store) *PoolSaver {
-	s := &PoolSaver{pool: p, st: st}
+	shard := -1
+	if l, ok := st.(laner); ok {
+		if lane := l.Lane(); lane >= 0 {
+			shard = lane % len(p.shards)
+		}
+	}
+	if shard < 0 {
+		shard = int(p.rr.Add(1)-1) % len(p.shards)
+	}
+	s := &PoolSaver{sh: &p.shards[shard], st: st}
 	s.idle = sync.NewCond(&s.mu)
 	return s
 }
 
-// PoolSaver queues saves for one store onto its pool. It satisfies
+// PoolSaver queues saves for one store onto its pool shard. It satisfies
 // core.BackgroundSaver.
 type PoolSaver struct {
-	pool *SaverPool
-	st   Store
+	sh *poolShard
+	st Store
 
 	mu      sync.Mutex
 	idle    *sync.Cond // broadcast when active clears (Flush waiters)
 	pending []pendingSave
-	active  bool // enqueued on the pool or being drained by a worker
+	active  bool // enqueued on the shard or being drained by its worker
 }
 
 // StartSave queues v for persistence. done, if non-nil, is called exactly
@@ -69,17 +97,18 @@ func (s *PoolSaver) StartSave(v uint64, done func(error)) {
 	s.mu.Unlock()
 
 	if !enqueue {
-		return // a worker (or the queue) already owns this handle
+		return // the worker (or the queue) already owns this handle
 	}
-	s.pool.mu.Lock()
-	if s.pool.closed {
-		s.pool.mu.Unlock()
+	sh := s.sh
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		s.fail(ErrClosed)
 		return
 	}
-	s.pool.queue = append(s.pool.queue, s)
-	s.pool.cond.Signal()
-	s.pool.mu.Unlock()
+	sh.queue = append(sh.queue, s)
+	sh.cond.Signal()
+	sh.mu.Unlock()
 }
 
 // Flush blocks until the handle is quiescent: every save queued before the
@@ -131,21 +160,21 @@ func (s *PoolSaver) drain() {
 	}
 }
 
-func (p *SaverPool) worker() {
+func (p *SaverPool) worker(sh *poolShard) {
 	defer p.wg.Done()
 	for {
-		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
-			p.cond.Wait()
+		sh.mu.Lock()
+		for len(sh.queue) == 0 && !sh.closed {
+			sh.cond.Wait()
 		}
-		if len(p.queue) == 0 {
+		if len(sh.queue) == 0 {
 			// Closed and drained.
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			return
 		}
-		h := p.queue[0]
-		p.queue = p.queue[1:]
-		p.mu.Unlock()
+		h := sh.queue[0]
+		sh.queue = sh.queue[1:]
+		sh.mu.Unlock()
 		h.drain()
 	}
 }
@@ -153,14 +182,12 @@ func (p *SaverPool) worker() {
 // Close drains every queued save and stops the workers. Saves started after
 // Close complete synchronously with ErrClosed.
 func (p *SaverPool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		p.wg.Wait()
-		return
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
 	}
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
 	p.wg.Wait()
 }

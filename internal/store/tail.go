@@ -84,10 +84,7 @@ func (t *Tail) Snapshot() (vals map[string]uint64, next uint64, err error) {
 	if j.closed || t.closed {
 		return nil, 0, ErrClosed
 	}
-	vals = make(map[string]uint64, len(j.vals))
-	for k, v := range j.vals {
-		vals[k] = v
-	}
+	vals = j.valsSnapshot()
 	t.next = j.appendSeq
 	t.lagged = false
 	return vals, t.next, nil
@@ -309,11 +306,7 @@ func (j *Journal) Fenced() error {
 func (j *Journal) Values() map[string]uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	vals := make(map[string]uint64, len(j.vals))
-	for k, v := range j.vals {
-		vals[k] = v
-	}
-	return vals
+	return j.valsSnapshot()
 }
 
 // Apply appends a batch of replicated records — the output of a Tail on
@@ -337,10 +330,10 @@ func (j *Journal) Apply(recs []TailRecord) error {
 	wrote := false
 	for _, r := range recs {
 		if r.Del {
-			if _, seen := j.vals[r.Key]; !seen {
+			if _, seen := j.getVal(r.Key); !seen {
 				continue
 			}
-		} else if cur, seen := j.vals[r.Key]; seen && r.Val <= cur {
+		} else if cur, seen := j.getVal(r.Key); seen && r.Val <= cur {
 			continue
 		}
 		if len(r.Key) == 0 || len(r.Key) > journalMaxKey {

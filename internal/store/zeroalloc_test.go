@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -39,5 +40,44 @@ func TestZeroAllocJournalSave(t *testing.T) {
 		}
 	}); got != 0 {
 		t.Errorf("journal save allocates %v per op, want 0", got)
+	}
+}
+
+// TestZeroAllocLanesSave extends the gate to the laned medium: routing a
+// key to its lane, the packed-key staging path (compact cells are always on
+// under Lanes), and the lane's commit must together stay allocation-free
+// per steady-state save.
+func TestZeroAllocLanesSave(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	l, err := OpenLanes(t.TempDir(),
+		LanesCount(16), LanesWithoutSync(), LanesCompactAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Cells across several lanes, saved round-robin, so the gate covers the
+	// routed path rather than one warmed lane.
+	cells := make([]*Cell, 8)
+	for i := range cells {
+		cells[i] = l.Cell(fmt.Sprintf("rx/%08x", i*37+1))
+	}
+	v := uint64(0)
+	for i := 0; i < 64*len(cells); i++ {
+		v++
+		if err := cells[i%len(cells)].Save(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if got := testing.AllocsPerRun(2000, func() {
+		v++
+		i++
+		if err := cells[i%len(cells)].Save(v); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("laned save allocates %v per op, want 0", got)
 	}
 }
