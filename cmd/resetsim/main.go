@@ -38,7 +38,127 @@ import (
 	"antireplay/internal/netsim"
 	"antireplay/internal/rekey"
 	"antireplay/internal/store"
+	wirenet "antireplay/internal/wire"
 )
+
+// carrier moves sealed datagrams (and rekey exchange messages) from the
+// sender gateway to the receiver in the gateway modes: in process by
+// default, or across a real UDP-encapsulated loopback socket pair with
+// -transport=udp (per-peer demux by SPI, non-ESP marker for the IKE
+// control lane).
+type carrier struct {
+	ea, eb *wirenet.UDPEndpoint
+	la, lb *wirenet.UDPLink
+}
+
+const carrierTimeout = 5 * time.Second
+
+func newCarrier(transport string, spis ...uint32) (*carrier, error) {
+	switch transport {
+	case "", "mem":
+		return &carrier{}, nil
+	case "udp":
+	default:
+		return nil, fmt.Errorf("unknown -transport %q (mem or udp)", transport)
+	}
+	ea, err := wirenet.ListenUDP("", wirenet.UDPConfig{})
+	if err != nil {
+		return nil, err
+	}
+	eb, err := wirenet.ListenUDP("", wirenet.UDPConfig{})
+	if err != nil {
+		ea.Close()
+		return nil, err
+	}
+	la, err := ea.Link(eb.Addr())
+	if err != nil {
+		ea.Close()
+		eb.Close()
+		return nil, err
+	}
+	lb, err := eb.Link(ea.Addr(), spis...)
+	if err != nil {
+		ea.Close()
+		eb.Close()
+		return nil, err
+	}
+	return &carrier{ea: ea, eb: eb, la: la, lb: lb}, nil
+}
+
+func (c *carrier) udp() bool { return c.la != nil }
+
+func (c *carrier) close() {
+	if c.udp() {
+		c.ea.Close()
+		c.eb.Close()
+	}
+}
+
+// deliver carries one sealed datagram to the receiver side and returns
+// the bytes the receiver should Open.
+func (c *carrier) deliver(w []byte) ([]byte, error) {
+	if !c.udp() {
+		return w, nil
+	}
+	if err := c.la.Send(w); err != nil {
+		return nil, err
+	}
+	return c.lb.RecvTimeout(carrierTimeout)
+}
+
+// registerSPI routes a new generation's inbound SPI to the receiver link
+// (a rekey riding the same wire).
+func (c *carrier) registerSPI(spi uint32) {
+	if c.udp() {
+		c.eb.RegisterSPI(c.lb, spi) //nolint:errcheck // demux falls back to peer address
+	}
+}
+
+// timeoutConn is an ike.Conn over a link's control lane with a bounded
+// Recv, so a deliberately dropped exchange message cannot hang a party.
+type timeoutConn struct {
+	l *wirenet.UDPLink
+	d time.Duration
+}
+
+func (c timeoutConn) Send(p []byte) error { return c.l.SendControl(p) }
+
+func (c timeoutConn) Recv() ([]byte, error) { return c.l.RecvControlTimeout(c.d) }
+
+// rekeyExchange runs the one-round-trip rekey over the control lane,
+// with fault injection: a "lost" message is simply never sent (request)
+// or never processed (response), exactly as the in-process mode models
+// it. The responder serves concurrently, as a real peer would.
+func (c *carrier) rekeyExchange(ini *ike.RekeyInitiator, rsp *ike.RekeyResponder,
+	m1 []byte, reqLost, respLost bool) (ike.ChildKeys, error) {
+
+	srv := make(chan error, 1)
+	go func() { srv <- ike.ServeRekey(rsp, timeoutConn{c.lb, carrierTimeout / 8}) }()
+	conn := timeoutConn{c.la, carrierTimeout / 8}
+
+	if reqLost {
+		<-srv // responder times out on the dropped request
+		return ike.ChildKeys{}, errors.New("rekey request lost")
+	}
+	if err := conn.Send(m1); err != nil {
+		<-srv
+		return ike.ChildKeys{}, err
+	}
+	if err := <-srv; err != nil {
+		return ike.ChildKeys{}, err
+	}
+	m2, err := conn.Recv()
+	if err != nil {
+		return ike.ChildKeys{}, err
+	}
+	if respLost {
+		return ike.ChildKeys{}, errors.New("rekey response lost")
+	}
+	if err := ini.HandleResponse(m2); err != nil {
+		return ike.ChildKeys{}, err
+	}
+	return ini.ChildKeys(), nil
+}
 
 func main() {
 	var (
@@ -61,6 +181,7 @@ func main() {
 		failN    = flag.Uint64("failover-every", 0, "crash the receiver gateway and promote its cluster standby every n delivered packets (0 = no cluster)")
 		lanesN   = flag.Int("lanes", 1, "journal commit lanes per node in the gateway modes (>1 opens the laned medium)")
 		sasN     = flag.Int("sas", 1, "total inbound SAs on the cluster node in failover mode (extras spread across lanes and wake on every takeover)")
+		trans    = flag.String("transport", "mem", "gateway-mode wire transport: mem (in-process) or udp (real UDP-encapsulated loopback sockets)")
 	)
 	flag.Parse()
 
@@ -68,15 +189,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resetsim: -rekey-every and -failover-every are separate modes")
 		os.Exit(2)
 	}
+	if *trans != "mem" && *trans != "udp" {
+		fmt.Fprintf(os.Stderr, "resetsim: unknown -transport %q (mem or udp)\n", *trans)
+		os.Exit(2)
+	}
+	if *trans == "udp" && *rekeyN == 0 && *failN == 0 {
+		fmt.Fprintln(os.Stderr, "resetsim: -transport=udp applies to the gateway modes (-rekey-every / -failover-every)")
+		os.Exit(2)
+	}
 	if *failN > 0 {
-		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w, *lanesN, *sasN); err != nil {
+		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w, *lanesN, *sasN, *trans); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *rekeyN > 0 {
-		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w, *lanesN); err != nil {
+		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w, *lanesN, *trans); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -160,7 +289,7 @@ func main() {
 // reports per-failover replication lag, the post-takeover false-reject
 // window, and — the §3 safety claim under failover — that replaying the
 // entire history re-delivers nothing.
-func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int, lanes, sas int) error {
+func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int, lanes, sas int, transport string) error {
 	dir, err := os.MkdirTemp("", "resetsim-failover-*")
 	if err != nil {
 		return err
@@ -214,6 +343,14 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	}
 	if _, err := B.AddInbound(keys.SPIInitToResp, keys.InitToResp); err != nil {
 		return err
+	}
+	car, err := newCarrier(transport, keys.SPIInitToResp)
+	if err != nil {
+		return err
+	}
+	defer car.close()
+	if car.udp() {
+		fmt.Printf("transport: UDP loopback %v <-> %v\n", car.ea.Addr(), car.eb.Addr())
 	}
 	// -sas extras: additional inbound SAs on the cluster node. They carry no
 	// traffic here, but they spread counters across the lanes, replicate,
@@ -276,8 +413,12 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 			lost++
 			continue
 		}
+		got, err := car.deliver(wire)
+		if err != nil {
+			return err
+		}
 		for {
-			_, verdict, err := B.Open(wire)
+			_, verdict, err := B.Open(got)
 			if err != nil {
 				return err
 			}
@@ -336,10 +477,15 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	}
 	defer standby.Stop()
 
-	// Adversary: replay the entire recorded history at the final primary.
+	// Adversary: replay the entire recorded history at the final primary
+	// (over the same transport the live traffic used).
 	replays := 0
 	for _, wire := range history {
-		_, verdict, _ := B.Open(wire)
+		got, err := car.deliver(wire)
+		if err != nil {
+			return err
+		}
+		_, verdict, _ := B.Open(got)
 		if verdict.Delivered() && seen[string(wire)] {
 			replays++
 		}
@@ -358,7 +504,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 // delivered packets. loss applies both to data packets and to the rekey
 // exchange's messages; resetAt > 0 crashes the receiver gateway
 // mid-exchange at the first rollover after that many deliveries.
-func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int, lanes int) error {
+func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int, lanes int, transport string) error {
 	dir, err := os.MkdirTemp("", "resetsim-rekey-*")
 	if err != nil {
 		return err
@@ -417,6 +563,14 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 	if _, err := gwB.AddOutbound(keys.SPIRespToInit, keys.RespToInit, selBA); err != nil {
 		return err
 	}
+	car, err := newCarrier(transport, keys.SPIInitToResp)
+	if err != nil {
+		return err
+	}
+	defer car.close()
+	if car.udp() {
+		fmt.Printf("transport: UDP loopback %v <-> %v\n", car.ea.Addr(), car.eb.Addr())
+	}
 
 	var (
 		delivered, sacrificed, lost uint64
@@ -447,14 +601,21 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 				gwB.ResetAll()
 				gwB.WakeAll() //nolint:errcheck // recovery failures surface as exchange errors below
 			}
-			if rng.Float64() < loss {
+			reqLost := rng.Float64() < loss
+			respLost := rng.Float64() < loss
+			if car.udp() {
+				// The exchange rides the socket's control lane (non-ESP
+				// marker), served concurrently by the responder side.
+				return car.rekeyExchange(ini, rsp, m1, reqLost, respLost)
+			}
+			if reqLost {
 				return ike.ChildKeys{}, errors.New("rekey request lost")
 			}
 			m2, err := rsp.HandleRequest(m1)
 			if err != nil {
 				return ike.ChildKeys{}, err
 			}
-			if rng.Float64() < loss {
+			if respLost {
 				return ike.ChildKeys{}, errors.New("rekey response lost")
 			}
 			if err := ini.HandleResponse(m2); err != nil {
@@ -515,7 +676,11 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 			lost++
 			continue
 		}
-		if err := open(wire); err != nil {
+		got, err := car.deliver(wire)
+		if err != nil {
+			return err
+		}
+		if err := open(got); err != nil {
 			return err
 		}
 		sinceRekey++
@@ -528,6 +693,7 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 				err := o.Rollover(tun)
 				if err == nil {
 					ab, ba := tun.SPIs()
+					car.registerSPI(ab) // new generation rides the same wire
 					fmt.Printf("delivered=%d  rolled over to SPIs %#x/%#x (attempt %d)\n",
 						delivered, ab, ba, attempt)
 					break
@@ -542,11 +708,16 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 		}
 	}
 
-	// Adversary: replay the entire recorded history. A second delivery of
-	// any wire is a safety violation.
+	// Adversary: replay the entire recorded history (over the same
+	// transport the live traffic used). A second delivery of any wire is a
+	// safety violation.
 	replays := 0
 	for _, wire := range history {
-		_, verdict, _ := gwB.Open(wire)
+		got, err := car.deliver(wire)
+		if err != nil {
+			return err
+		}
+		_, verdict, _ := gwB.Open(got)
 		if verdict.Delivered() && seen[string(wire)] {
 			replays++
 		}

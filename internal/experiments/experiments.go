@@ -227,6 +227,15 @@ func All() []Runner {
 			}
 			return Scale(cfg)
 		}},
+		{ID: "transport", Paper: "extension: the wire layer (fragment attacks rejected, UDP loopback line rate)", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultTransportConfig()
+			if fast {
+				cfg.Datagrams = 50
+				cfg.FloodIDs = 128
+				cfg.UDPPackets = 4000
+			}
+			return Transport(cfg)
+		}},
 	}
 }
 

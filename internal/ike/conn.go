@@ -1,0 +1,53 @@
+package ike
+
+import "fmt"
+
+// Conn is the two-way control channel an IKE exchange rides: a datagram
+// pipe with IKE framing handled elsewhere (e.g. the wire layer's non-ESP
+// marker demultiplexing on a UDP-encapsulated link, or a simulated link's
+// control lane). Send transmits one message; Recv blocks for the next.
+//
+// The interface is structural on purpose — wire.UDPLink's Control() view
+// satisfies it without this package importing the transport.
+type Conn interface {
+	Send(p []byte) error
+	Recv() ([]byte, error)
+}
+
+// RekeyOverConn drives the initiating side of a child-SA rekey exchange
+// over c: request out, response in, successor keys derived. The returned
+// keys are valid only on a nil error.
+func RekeyOverConn(ini *RekeyInitiator, c Conn) (ChildKeys, error) {
+	req, err := ini.Request()
+	if err != nil {
+		return ChildKeys{}, err
+	}
+	if err := c.Send(req); err != nil {
+		return ChildKeys{}, fmt.Errorf("ike: rekey request send: %w", err)
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return ChildKeys{}, fmt.Errorf("ike: rekey response recv: %w", err)
+	}
+	if err := ini.HandleResponse(resp); err != nil {
+		return ChildKeys{}, err
+	}
+	return ini.ChildKeys(), nil
+}
+
+// ServeRekey answers one rekey request arriving on c: request in, response
+// out. On success the responder holds the successor keys (rsp.ChildKeys).
+func ServeRekey(rsp *RekeyResponder, c Conn) error {
+	req, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("ike: rekey request recv: %w", err)
+	}
+	resp, err := rsp.HandleRequest(req)
+	if err != nil {
+		return err
+	}
+	if err := c.Send(resp); err != nil {
+		return fmt.Errorf("ike: rekey response send: %w", err)
+	}
+	return nil
+}

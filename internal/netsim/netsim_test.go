@@ -359,3 +359,78 @@ func TestSimSaverDelayAccessor(t *testing.T) {
 		t.Errorf("Delay = %v, want 7ms", sv.Delay())
 	}
 }
+
+func TestLinkConfigValidateMTU(t *testing.T) {
+	if err := (LinkConfig{MTU: 1500}).Validate(); err != nil {
+		t.Errorf("MTU 1500: Validate = %v, want nil", err)
+	}
+	if err := (LinkConfig{MTU: -1}).Validate(); err == nil {
+		t.Error("MTU -1: Validate = nil, want error")
+	}
+}
+
+func TestLinkMTUDropsOversize(t *testing.T) {
+	e := NewEngine(1)
+	var got [][]byte
+	link := NewLink[[]byte](e, LinkConfig{MTU: 64}, func(v []byte) { got = append(got, v) })
+	link.Send(make([]byte, 64)) // at the MTU: carried
+	link.Send(make([]byte, 65)) // over: dropped and counted
+	e.Run()
+	if len(got) != 1 || len(got[0]) != 64 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	st := link.Stats()
+	if st.Oversize != 1 || st.Sent != 2 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkMTUIgnoresNonByteMessages(t *testing.T) {
+	// Size is only defined for []byte-carrying links; other types are
+	// never oversize.
+	e := NewEngine(1)
+	var got []uint64
+	link := NewLink[uint64](e, LinkConfig{MTU: 1}, func(v uint64) { got = append(got, v) })
+	link.Send(1 << 40)
+	e.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	if st := link.Stats(); st.Oversize != 0 {
+		t.Errorf("Oversize = %d on a non-[]byte link", st.Oversize)
+	}
+}
+
+func TestLinkStatsDeterministicAcrossRuns(t *testing.T) {
+	// Same seed => identical LinkStats, bit for bit; a different seed must
+	// disturb at least one impairment counter.
+	run := func(seed int64) LinkStats {
+		e := NewEngine(seed)
+		link := NewLink[[]byte](e, LinkConfig{
+			Delay:        time.Millisecond,
+			Jitter:       time.Millisecond,
+			LossProb:     0.2,
+			DupProb:      0.15,
+			ReorderProb:  0.25,
+			ReorderDelay: 5 * time.Millisecond,
+			MTU:          256,
+		}, func([]byte) {})
+		for i := 0; i < 500; i++ {
+			n := 16 + (i*37)%400 // some above the MTU, deterministically
+			i := i
+			e.At(time.Duration(i)*50*time.Microsecond, func() { link.Send(make([]byte, n)) })
+		}
+		e.Run()
+		return link.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed, stats differ:\n%+v\n%+v", a, b)
+	}
+	if c := run(43); c == a {
+		t.Fatalf("different seed, identical stats: %+v", c)
+	}
+	if a.Oversize == 0 || a.Lost == 0 || a.Duplicated == 0 || a.Reordered == 0 {
+		t.Fatalf("impairments not exercised: %+v", a)
+	}
+}

@@ -20,12 +20,14 @@ package tunnel
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"antireplay/internal/core"
 	"antireplay/internal/dpd"
 	"antireplay/internal/ipsec"
 	"antireplay/internal/store"
+	"antireplay/internal/wire"
 )
 
 // Sentinel errors.
@@ -77,9 +79,19 @@ func (c Config) validate() error {
 	return nil
 }
 
+// transportFn aliases the wire-transmit callback so it can live behind an
+// atomic.Pointer.
+type transportFn = func(wire []byte)
+
 // Peer is one host's bidirectional endpoint.
 type Peer struct {
 	cfg Config
+
+	// transport is the current wire-transmit callback. It is read on the
+	// datapath (Send, probe auto-ack, AnnounceWhenUp) and may be replaced
+	// concurrently (failover re-pointing a standby, a rekey swapping the
+	// socket), so it lives behind an atomic pointer rather than in cfg.
+	transport atomic.Pointer[transportFn]
 
 	out *ipsec.OutboundSA
 	in  *ipsec.InboundSA
@@ -100,6 +112,9 @@ func New(cfg Config, outSPI uint32, outKeys ipsec.KeyMaterial, inSPI uint32, inK
 		cfg.Stores = MemStores
 	}
 	p := &Peer{cfg: cfg}
+	if cfg.Transport != nil {
+		p.transport.Store(&cfg.Transport)
+	}
 	if err := p.install(outSPI, outKeys, inSPI, inKeys); err != nil {
 		return nil, err
 	}
@@ -150,8 +165,56 @@ func (p *Peer) install(outSPI uint32, outKeys ipsec.KeyMaterial, inSPI uint32, i
 	return nil
 }
 
-// SetTransport installs or replaces the wire transport.
-func (p *Peer) SetTransport(send func(wire []byte)) { p.cfg.Transport = send }
+// SetTransport installs or replaces the wire transport. It is safe to call
+// concurrently with Send/Receive: in-flight datapath operations finish on
+// the transport they loaded, later ones see the replacement.
+func (p *Peer) SetTransport(send func(wire []byte)) {
+	if send == nil {
+		p.transport.Store(nil)
+		return
+	}
+	p.transport.Store(&send)
+}
+
+// transportFunc loads the current transport (nil if none installed).
+func (p *Peer) transportFunc() transportFn {
+	if fp := p.transport.Load(); fp != nil {
+		return *fp
+	}
+	return nil
+}
+
+// AttachLink points the peer's transport at l and, when l supports inline
+// delivery (simulated links), routes every received datagram into Receive.
+// For blocking links (sockets) pair it with Serve.
+func (p *Peer) AttachLink(l wire.Link) {
+	p.SetTransport(func(w []byte) {
+		l.Send(w) //nolint:errcheck // datapath sends are fire-and-forget
+	})
+	if ir, ok := l.(wire.InlineReceiver); ok {
+		ir.OnRecv(func(b []byte) {
+			p.Receive(b) //nolint:errcheck // rejections are the protocol's verdict, not a pump error
+		})
+	}
+}
+
+// Serve pumps l.Recv into Receive until the link closes (blocking links)
+// or runs dry (simulated links return wire.ErrNoDatagram). Authentication
+// and replay rejections are protocol verdicts, not pump errors, and do not
+// stop the loop.
+func (p *Peer) Serve(l wire.Link) error {
+	for {
+		b, err := l.Recv()
+		switch {
+		case err == nil:
+			p.Receive(b) //nolint:errcheck
+		case errors.Is(err, wire.ErrNoDatagram), errors.Is(err, wire.ErrClosed):
+			return nil
+		default:
+			return err
+		}
+	}
+}
 
 // Name returns the host label.
 func (p *Peer) Name() string { return p.cfg.Name }
@@ -167,14 +230,15 @@ func (p *Peer) Generation() int { return p.generation }
 
 // Send seals payload and transmits it.
 func (p *Peer) Send(payload []byte) error {
-	if p.cfg.Transport == nil {
+	transport := p.transportFunc()
+	if transport == nil {
 		return ErrNoTransport
 	}
 	wire, err := p.out.Seal(payload)
 	if err != nil {
 		return err
 	}
-	p.cfg.Transport(wire)
+	transport(wire)
 	return nil
 }
 
@@ -198,9 +262,9 @@ func (p *Peer) Receive(wire []byte) (core.Verdict, error) {
 		switch kind {
 		case "probe":
 			// Auto-acknowledge R-U-THERE.
-			if p.cfg.Transport != nil {
+			if transport := p.transportFunc(); transport != nil {
 				if wire, err := p.out.Seal(dpd.AckPayload(seq)); err == nil {
-					p.cfg.Transport(wire)
+					transport(wire)
 				}
 			}
 		case "ack":
@@ -252,7 +316,8 @@ func (p *Peer) AnnounceWhenUp() error {
 		}
 		return ErrNotRecovered
 	}
-	if p.cfg.Transport == nil {
+	transport := p.transportFunc()
+	if transport == nil {
 		return nil
 	}
 	for i := 0; i < 2; i++ {
@@ -260,7 +325,7 @@ func (p *Peer) AnnounceWhenUp() error {
 		if err != nil {
 			return err
 		}
-		p.cfg.Transport(wire)
+		transport(wire)
 	}
 	return nil
 }

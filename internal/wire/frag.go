@@ -1,0 +1,574 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fragment framing. Every datagram through a FragLink travels as one or
+// more frames with a fixed 13-byte header:
+//
+//	offset 0  4  demux SPI (copied from the inner ESP datagram's leading
+//	             4 bytes; probeSPI for PMTU probes/acks, which must stay
+//	             nonzero so UDP endpoints do not mistake them for the
+//	             non-ESP control marker) — kept first so a UDP endpoint's
+//	             per-peer SPI demultiplexer routes fragments exactly like
+//	             whole packets
+//	offset 4  1  flags: high nibble 0x5 (version magic), low bits below
+//	offset 5  4  datagram id (per-link counter)
+//	offset 9  2  fragment byte offset
+//	offset 11 2  total datagram length
+//	offset 13 n  payload
+//
+// A frame without flagFrag carries the whole datagram. PMTU probes and
+// their acks are control frames riding the same framing, so discovery
+// exercises the real path.
+const (
+	fragHdrLen = 13
+
+	flagMagic    = 0x50
+	flagMagicMsk = 0xF0
+	flagFrag     = 0x01
+	flagProbe    = 0x02
+	flagProbeAck = 0x04
+
+	// probeSPI is the demux SPI carried by PMTU probes and their acks. It
+	// is deliberately nonzero (the all-zero word is the UDP non-ESP
+	// marker) and outside any real SA's range by convention.
+	probeSPI = 0xFFFF_FFFF
+)
+
+// Fragmentation limits and defaults.
+const (
+	// MaxDatagram is the largest datagram the fragment framing can carry
+	// (the total field is 16 bits, like UDP's length).
+	MaxDatagram = 1<<16 - 1
+
+	defaultMinFragPayload    = 64
+	defaultMaxReassemblyMem  = 1 << 20
+	defaultMaxPending        = 256
+	defaultReassemblyTimeout = 3 * time.Second
+)
+
+// EncodeFrame builds one raw fragment-layer frame. It is exported for
+// the experiment harness's adversary, which forges hostile fragment
+// sequences (overlapping, tiny, inconsistent) and injects them beneath
+// the FragLink; well-behaved traffic never needs it.
+func EncodeFrame(spi uint32, flags byte, id uint32, off, total int, payload []byte) []byte {
+	f := make([]byte, fragHdrLen+len(payload))
+	binary.BigEndian.PutUint32(f[0:4], spi)
+	f[4] = flagMagic | flags
+	binary.BigEndian.PutUint32(f[5:9], id)
+	binary.BigEndian.PutUint16(f[9:11], uint16(off))
+	binary.BigEndian.PutUint16(f[11:13], uint16(total))
+	copy(f[fragHdrLen:], payload)
+	return f
+}
+
+// FragFlags exports the frame flag bits for forged-frame construction.
+const (
+	FragFlagFrag     = flagFrag
+	FragFlagProbe    = flagProbe
+	FragFlagProbeAck = flagProbeAck
+)
+
+// FragConfig parameterizes a FragLink.
+type FragConfig struct {
+	// WireMTU is the largest frame the underlying link carries; datagrams
+	// bigger than WireMTU-header are fragmented. 0 adopts the inner
+	// link's MTU; if that is also 0 the link never fragments (but still
+	// frames, so both ends must wrap). PMTU discovery replaces this value
+	// with the probed path MTU.
+	WireMTU int
+	// MinFragPayload rejects non-final fragments smaller than this (the
+	// tiny-fragment attack: splinters that inflate reassembly state and
+	// sneak headers past filters). 0 means 64.
+	MinFragPayload int
+	// MaxReassemblyBytes bounds the total buffered bytes across all
+	// pending reassemblies; beyond it the oldest pending datagram is
+	// evicted. 0 means 1 MiB.
+	MaxReassemblyBytes int
+	// MaxPending bounds concurrent reassemblies; 0 means 256.
+	MaxPending int
+	// ReassemblyTimeout evicts incomplete datagrams (fragments held
+	// hostage never pin memory). 0 means 3s.
+	ReassemblyTimeout time.Duration
+	// Now supplies the reassembly clock; nil uses wall time. Simulations
+	// pass the engine's Now for deterministic timeouts.
+	Now func() time.Duration
+}
+
+// FragStats counts the fragmentation layer's work. HostileDrops is the
+// headline security counter: datagrams rejected for overlapping,
+// undersized, or inconsistent fragments per the IPv6 fragment-handling
+// catalogue.
+type FragStats struct {
+	// FragsTx and FragsRx count fragment frames (not whole-datagram
+	// frames) sent and received.
+	FragsTx, FragsRx uint64
+	// Reassembled counts multi-fragment datagrams delivered.
+	Reassembled uint64
+	// AtomicFrags counts single-fragment datagrams (offset 0 covering the
+	// whole total): legal, delivered, but worth watching — RFC 6946
+	// processes them independently precisely because attackers send them.
+	AtomicFrags uint64
+	// HostileDrops counts datagrams rejected for overlap, tiny non-final
+	// fragments, inconsistent totals, or out-of-bounds offsets.
+	HostileDrops uint64
+	// TimeoutDrops counts reassemblies evicted by ReassemblyTimeout.
+	TimeoutDrops uint64
+	// EvictDrops counts reassemblies evicted by the memory/pending bound.
+	EvictDrops uint64
+	// BadFrames counts frames that failed header parsing.
+	BadFrames uint64
+	// ProbesTx, ProbesRx, ProbeAcks count PMTU discovery traffic.
+	ProbesTx, ProbesRx, ProbeAcks uint64
+	// PendingBytes is the current buffered reassembly memory.
+	PendingBytes int
+}
+
+// pending is one in-progress reassembly.
+type pending struct {
+	id       uint32
+	total    int
+	buf      []byte
+	ranges   [][2]int // received [off,end) byte ranges, sorted
+	got      int
+	born     time.Duration
+	poisoned bool // hostile fragments seen: drop everything with this id
+}
+
+// FragLink layers explicit fragmentation/reassembly and probe-based path
+// MTU discovery over any Link. Both endpoints must wrap the same way.
+type FragLink struct {
+	inner Link
+	cfg   FragConfig
+
+	mu       sync.Mutex
+	wireMTU  int
+	nextID   uint32
+	entries  map[uint32]*pending
+	order    []uint32 // insertion order for eviction
+	pendMem  int
+	maxAcked int
+	stats    Stats
+	fstats   FragStats
+	handler  Handler
+}
+
+// NewFragLink wraps inner. See FragConfig for the defaulting rules.
+func NewFragLink(inner Link, cfg FragConfig) *FragLink {
+	if cfg.MinFragPayload == 0 {
+		cfg.MinFragPayload = defaultMinFragPayload
+	}
+	if cfg.MaxReassemblyBytes == 0 {
+		cfg.MaxReassemblyBytes = defaultMaxReassemblyMem
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = defaultMaxPending
+	}
+	if cfg.ReassemblyTimeout == 0 {
+		cfg.ReassemblyTimeout = defaultReassemblyTimeout
+	}
+	if cfg.Now == nil {
+		start := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(start) }
+	}
+	wmtu := cfg.WireMTU
+	if wmtu == 0 {
+		wmtu = inner.MTU()
+	}
+	return &FragLink{inner: inner, cfg: cfg, wireMTU: wmtu,
+		entries: make(map[uint32]*pending)}
+}
+
+// Send fragments p as needed and transmits the frames.
+func (l *FragLink) Send(p []byte) error {
+	spi := demuxSPI(p)
+	l.mu.Lock()
+	wmtu := l.wireMTU
+	id := l.nextID
+	l.nextID++
+	l.mu.Unlock()
+
+	if len(p) > MaxDatagram {
+		l.countTx(0, 0, true)
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(p), MaxDatagram)
+	}
+	if wmtu == 0 || len(p)+fragHdrLen <= wmtu {
+		// One whole-datagram frame. An inner ErrTooLarge means the frame
+		// exceeded the *path's* capability while our wire-MTU belief said
+		// it fit: on a real network that frame dies at the constrained
+		// hop, invisibly to the sender — model it as a silent path drop
+		// (this is exactly the blackhole PMTU discovery repairs).
+		if err := l.inner.Send(EncodeFrame(spi, 0, id, 0, len(p), p)); err != nil {
+			l.countTx(0, 0, true)
+			if errors.Is(err, ErrTooLarge) {
+				return nil
+			}
+			return err
+		}
+		l.countTx(len(p), 0, false)
+		return nil
+	}
+	chunk := wmtu - fragHdrLen
+	if chunk <= 0 {
+		l.countTx(0, 0, true)
+		return fmt.Errorf("%w: wire MTU %d below fragment header", ErrTooLarge, wmtu)
+	}
+	frags, dropped := 0, false
+	for off := 0; off < len(p); off += chunk {
+		end := off + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := l.inner.Send(EncodeFrame(spi, flagFrag, id, off, len(p), p[off:end])); err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				dropped = true // lost at the constrained hop; keep going
+				continue
+			}
+			l.countTx(0, frags, true)
+			return err
+		}
+		frags++
+	}
+	l.countTx(len(p), frags, dropped)
+	return nil
+}
+
+func (l *FragLink) countTx(bytes, frags int, drop bool) {
+	l.mu.Lock()
+	if drop {
+		l.stats.TxDrops++
+	} else {
+		l.stats.TxPackets++
+		l.stats.TxBytes += uint64(bytes)
+	}
+	l.fstats.FragsTx += uint64(frags)
+	l.mu.Unlock()
+}
+
+// Recv pulls frames from the inner link until a whole datagram is
+// available, handling control frames and partial fragments internally.
+// Inner ErrNoDatagram (simulated links) passes through.
+func (l *FragLink) Recv() ([]byte, error) {
+	for {
+		f, err := l.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := l.handleFrame(f); ok {
+			return p, nil
+		}
+	}
+}
+
+// OnRecv delivers reassembled datagrams inline when the inner link
+// supports inline delivery (simulated links). Until it is called, frames
+// queue in the inner link for Recv.
+func (l *FragLink) OnRecv(h Handler) {
+	l.mu.Lock()
+	l.handler = h
+	l.mu.Unlock()
+	if ir, ok := l.inner.(InlineReceiver); ok {
+		ir.OnRecv(func(f []byte) {
+			if p, ok := l.handleFrame(f); ok {
+				l.mu.Lock()
+				cur := l.handler
+				l.mu.Unlock()
+				if cur != nil {
+					cur(p)
+				}
+			}
+		})
+	}
+}
+
+// handleFrame processes one inbound frame; ok reports a complete
+// datagram ready for delivery.
+func (l *FragLink) handleFrame(f []byte) (p []byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+
+	if len(f) < fragHdrLen || f[4]&flagMagicMsk != flagMagic {
+		l.fstats.BadFrames++
+		l.stats.RxDrops++
+		return nil, false
+	}
+	flags := f[4] &^ flagMagicMsk
+	id := binary.BigEndian.Uint32(f[5:9])
+	off := int(binary.BigEndian.Uint16(f[9:11]))
+	total := int(binary.BigEndian.Uint16(f[11:13]))
+	payload := f[fragHdrLen:]
+	spi := binary.BigEndian.Uint32(f[0:4])
+
+	switch {
+	case flags&flagProbe != 0:
+		l.fstats.ProbesRx++
+		// Acknowledge with the size we actually received; the prober
+		// learns which candidate sizes survive the path.
+		ack := EncodeFrame(spi, flagProbeAck, id, 0, len(f), nil)
+		inner := l.inner
+		l.mu.Unlock()
+		inner.Send(ack) //nolint:errcheck // probe acks are best-effort
+		l.mu.Lock()
+		return nil, false
+	case flags&flagProbeAck != 0:
+		l.fstats.ProbeAcks++
+		if total > l.maxAcked {
+			l.maxAcked = total
+		}
+		return nil, false
+	case flags&flagFrag == 0:
+		// Whole datagram in one frame.
+		if total != len(payload) {
+			l.fstats.BadFrames++
+			l.stats.RxDrops++
+			return nil, false
+		}
+		l.stats.RxPackets++
+		l.stats.RxBytes += uint64(len(payload))
+		return payload, true
+	}
+
+	// Fragment path.
+	l.fstats.FragsRx++
+	if total > MaxDatagram || off+len(payload) > total || len(payload) == 0 {
+		l.fstats.HostileDrops++
+		l.poisonLocked(id)
+		return nil, false
+	}
+	if off == 0 && len(payload) == total {
+		// The atomic fragment: a lone fragment claiming the whole
+		// datagram. Legal (RFC 6946: process independently), delivered.
+		l.fstats.AtomicFrags++
+		l.stats.RxPackets++
+		l.stats.RxBytes += uint64(total)
+		return payload, true
+	}
+	final := off+len(payload) == total
+	if !final && len(payload) < l.cfg.MinFragPayload {
+		// Tiny-fragment attack: non-final splinter below the floor.
+		l.fstats.HostileDrops++
+		l.poisonLocked(id)
+		return nil, false
+	}
+
+	e := l.entries[id]
+	if e == nil {
+		l.evictForLocked(total)
+		e = &pending{id: id, total: total, buf: make([]byte, total),
+			born: l.cfg.Now()}
+		l.entries[id] = e
+		l.order = append(l.order, id)
+		l.pendMem += total
+		l.fstats.PendingBytes = l.pendMem
+	}
+	if e.poisoned {
+		return nil, false
+	}
+	if e.total != total {
+		// Inconsistent totals across fragments of one id.
+		l.fstats.HostileDrops++
+		l.poisonLocked(id)
+		return nil, false
+	}
+	end := off + len(payload)
+	for _, r := range e.ranges {
+		if off >= r[1] || r[0] >= end {
+			continue
+		}
+		if off == r[0] && end == r[1] && string(e.buf[off:end]) == string(payload) {
+			// Byte-identical retransmission of a fragment already held
+			// (the link's duplication, not an attack): idempotent.
+			return nil, false
+		}
+		// Overlapping fragment: the classic reassembly ambiguity attack
+		// (RFC 5722 semantics). The whole datagram is condemned, not
+		// just the frame.
+		l.fstats.HostileDrops++
+		l.poisonLocked(id)
+		return nil, false
+	}
+	copy(e.buf[off:end], payload)
+	e.ranges = insertRange(e.ranges, [2]int{off, end})
+	e.got += len(payload)
+	if e.got < e.total {
+		return nil, false
+	}
+	l.dropLocked(id)
+	l.fstats.Reassembled++
+	l.stats.RxPackets++
+	l.stats.RxBytes += uint64(e.total)
+	return e.buf, true
+}
+
+// insertRange keeps ranges sorted by start.
+func insertRange(rs [][2]int, r [2]int) [][2]int {
+	i := len(rs)
+	for j, x := range rs {
+		if r[0] < x[0] {
+			i = j
+			break
+		}
+	}
+	rs = append(rs, [2]int{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	return rs
+}
+
+// poisonLocked condemns id: its buffered bytes are released immediately
+// and later fragments with the same id are ignored until timeout.
+func (l *FragLink) poisonLocked(id uint32) {
+	e := l.entries[id]
+	if e == nil {
+		e = &pending{id: id, born: l.cfg.Now(), poisoned: true}
+		l.entries[id] = e
+		l.order = append(l.order, id)
+		return
+	}
+	if !e.poisoned {
+		l.pendMem -= e.total
+		l.fstats.PendingBytes = l.pendMem
+		e.buf, e.ranges, e.total = nil, nil, 0
+		e.poisoned = true
+	}
+}
+
+// dropLocked removes id from the pending set, releasing its memory.
+func (l *FragLink) dropLocked(id uint32) {
+	e := l.entries[id]
+	if e == nil {
+		return
+	}
+	if !e.poisoned {
+		l.pendMem -= e.total
+		l.fstats.PendingBytes = l.pendMem
+	}
+	delete(l.entries, id)
+	for i, x := range l.order {
+		if x == id {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// expireLocked evicts reassemblies past the timeout.
+func (l *FragLink) expireLocked() {
+	now := l.cfg.Now()
+	for len(l.order) > 0 {
+		e := l.entries[l.order[0]]
+		if e == nil {
+			l.order = l.order[1:]
+			continue
+		}
+		if now-e.born < l.cfg.ReassemblyTimeout {
+			break
+		}
+		if !e.poisoned {
+			l.fstats.TimeoutDrops++
+		}
+		l.dropLocked(e.id)
+	}
+}
+
+// evictForLocked makes room for a new reassembly of `need` bytes under
+// the memory and pending-count bounds by evicting oldest entries.
+func (l *FragLink) evictForLocked(need int) {
+	for len(l.order) > 0 &&
+		(l.pendMem+need > l.cfg.MaxReassemblyBytes || len(l.entries) >= l.cfg.MaxPending) {
+		id := l.order[0]
+		if e := l.entries[id]; e != nil && !e.poisoned {
+			l.fstats.EvictDrops++
+		}
+		l.dropLocked(id)
+	}
+}
+
+// SendProbe transmits one PMTU probe frame padded to exactly size bytes
+// on the wire. The peer's FragLink acks with the size it received;
+// AdoptPMTU later folds the acks into the effective wire MTU.
+func (l *FragLink) SendProbe(size int) error {
+	if size < fragHdrLen {
+		return fmt.Errorf("wire: probe size %d below header %d", size, fragHdrLen)
+	}
+	l.mu.Lock()
+	id := l.nextID
+	l.nextID++
+	l.fstats.ProbesTx++
+	l.mu.Unlock()
+	pad := make([]byte, size-fragHdrLen)
+	return l.inner.Send(EncodeFrame(probeSPI, flagProbe, id, 0, size, pad))
+}
+
+// DiscoverPMTU sends one probe per candidate size. Drive the link (run
+// the engine, or let the socket pump turn) and then call AdoptPMTU.
+// Candidates the path cannot carry are simply never acked; a candidate
+// the inner link refuses outright (simulated MTU) is skipped.
+func (l *FragLink) DiscoverPMTU(candidates []int) {
+	for _, c := range candidates {
+		l.SendProbe(c) //nolint:errcheck // unackable probes = unusable sizes
+	}
+}
+
+// AdoptPMTU installs the largest acked probe size as the wire MTU and
+// returns it; with no acks observed the MTU is unchanged.
+func (l *FragLink) AdoptPMTU() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.maxAcked > 0 {
+		l.wireMTU = l.maxAcked
+	}
+	return l.wireMTU
+}
+
+// PathMTU returns the current effective wire MTU (0 = unlimited).
+func (l *FragLink) PathMTU() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wireMTU
+}
+
+// Close closes the inner link.
+func (l *FragLink) Close() error { return l.inner.Close() }
+
+// Stats returns datagram-level counters (TxPackets counts datagrams
+// accepted by Send, not frames; see FragStats for frame detail).
+func (l *FragLink) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// FragStats returns the fragmentation/PMTU counters.
+func (l *FragLink) FragStats() FragStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fstats
+}
+
+// MTU returns the largest datagram Send accepts: fragmentation lifts the
+// wire MTU up to the framing's MaxDatagram.
+func (l *FragLink) MTU() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wireMTU == 0 {
+		return 0
+	}
+	return MaxDatagram
+}
+
+// Inner exposes the wrapped link (the adversary's injection point for
+// forged frames).
+func (l *FragLink) Inner() Link { return l.inner }
+
+var (
+	_ Link           = (*FragLink)(nil)
+	_ InlineReceiver = (*FragLink)(nil)
+)

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// ImpairConfig is the send-side impairment model an ImpairLink applies.
+// All draws come from one seeded source, so a run over any link —
+// including a real socket — replays its impairment decisions
+// deterministically for the same traffic.
+type ImpairConfig struct {
+	// Seed drives the impairment randomness.
+	Seed int64
+	// LossProb drops a datagram.
+	LossProb float64
+	// DupProb transmits a datagram twice.
+	DupProb float64
+	// ReorderProb holds a datagram back and releases it after the next
+	// one (adjacent swap — the bounded reorder a short queue causes).
+	ReorderProb float64
+}
+
+// ImpairStats counts the middleware's interference.
+type ImpairStats struct {
+	Lost, Duplicated, Reordered, Injected uint64
+}
+
+// ImpairLink composes loss, duplication, and reordering over any Link,
+// and carries the adversary hooks across transports: Tap is the wiretap
+// position (sees every datagram handed to Send, even ones then lost)
+// and Inject transmits bypassing taps and impairment. This is what lets
+// the resetinj/adversary layers drive the same scenarios over netsim
+// and over real sockets.
+type ImpairLink struct {
+	inner Link
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cfg     ImpairConfig
+	taps    []func([]byte)
+	held    []byte
+	hasHeld bool
+	istats  ImpairStats
+}
+
+// NewImpairLink wraps inner with the seeded impairment model.
+func NewImpairLink(inner Link, cfg ImpairConfig) *ImpairLink {
+	return &ImpairLink{inner: inner, cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Tap registers fn at the wiretap position.
+func (l *ImpairLink) Tap(fn func(p []byte)) {
+	l.mu.Lock()
+	l.taps = append(l.taps, fn)
+	l.mu.Unlock()
+}
+
+// Send applies the impairment model, then transmits survivors.
+func (l *ImpairLink) Send(p []byte) error {
+	l.mu.Lock()
+	taps := l.taps
+	for _, tap := range taps {
+		tap(p)
+	}
+	if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
+		l.istats.Lost++
+		l.mu.Unlock()
+		return nil
+	}
+	if l.cfg.ReorderProb > 0 && l.rng.Float64() < l.cfg.ReorderProb && !l.hasHeld {
+		// Hold p back; it rides out after the next datagram.
+		l.held, l.hasHeld = p, true
+		l.istats.Reordered++
+		l.mu.Unlock()
+		return nil
+	}
+	// Duplication applies to datagrams transmitted now (a held datagram
+	// is released exactly once).
+	dup := l.cfg.DupProb > 0 && l.rng.Float64() < l.cfg.DupProb
+	if dup {
+		l.istats.Duplicated++
+	}
+	var release []byte
+	if l.hasHeld {
+		release, l.held, l.hasHeld = l.held, nil, false
+	}
+	l.mu.Unlock()
+
+	if err := l.inner.Send(p); err != nil {
+		return err
+	}
+	if dup {
+		if err := l.inner.Send(p); err != nil {
+			return err
+		}
+	}
+	if release != nil {
+		return l.inner.Send(release)
+	}
+	return nil
+}
+
+// Inject transmits p directly: no taps, no impairment. It satisfies
+// adversary.Injector[[]byte].
+func (l *ImpairLink) Inject(p []byte) {
+	l.mu.Lock()
+	l.istats.Injected++
+	l.mu.Unlock()
+	l.inner.Send(p) //nolint:errcheck // the adversary gets no delivery report
+}
+
+// Flush releases a held (reordered) datagram, if any — call at the end
+// of a traffic burst so the swap victim is not stranded.
+func (l *ImpairLink) Flush() error {
+	l.mu.Lock()
+	var release []byte
+	if l.hasHeld {
+		release, l.held, l.hasHeld = l.held, nil, false
+	}
+	l.mu.Unlock()
+	if release != nil {
+		return l.inner.Send(release)
+	}
+	return nil
+}
+
+// Recv, Close, Stats, and MTU delegate to the inner link.
+func (l *ImpairLink) Recv() ([]byte, error) { return l.inner.Recv() }
+
+// OnRecv delegates inline delivery when the inner link supports it.
+func (l *ImpairLink) OnRecv(h Handler) {
+	if ir, ok := l.inner.(InlineReceiver); ok {
+		ir.OnRecv(h)
+	}
+}
+
+// Close closes the inner link.
+func (l *ImpairLink) Close() error { return l.inner.Close() }
+
+// Stats returns the inner link's counters (the impairment's own are in
+// ImpairStats).
+func (l *ImpairLink) Stats() Stats { return l.inner.Stats() }
+
+// ImpairStats returns the interference counters.
+func (l *ImpairLink) ImpairStats() ImpairStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.istats
+}
+
+// MTU returns the inner link's MTU.
+func (l *ImpairLink) MTU() int { return l.inner.MTU() }
+
+// Inner exposes the wrapped link.
+func (l *ImpairLink) Inner() Link { return l.inner }
+
+var (
+	_ Link     = (*ImpairLink)(nil)
+	_ Tapper   = (*ImpairLink)(nil)
+	_ Injector = (*ImpairLink)(nil)
+)

@@ -1,0 +1,434 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// UDP encapsulation, after RFC 3948 (UDP encapsulation of ESP):
+//
+//   - an ESP datagram travels as-is — its leading 32-bit SPI (never
+//     zero for a real SA) doubles as the demux key;
+//   - non-ESP traffic (the IKE exchanges) is prefixed with the 4-byte
+//     zero "non-ESP marker", which no ESP packet can start with;
+//   - a NAT-T keepalive is the single byte 0xFF, sent when a link has
+//     been transmit-idle for the keepalive interval and absorbed (but
+//     counted) on receipt.
+//
+// One UDPEndpoint owns one socket and demultiplexes inbound datagrams to
+// its links: ESP by SPI (falling back to the peer address for SPIs
+// registered nowhere, so fragment frames carrying a demux SPI route the
+// same as whole packets), non-ESP and keepalives by peer address.
+const (
+	// maxUDPDatagram is the IPv4 UDP payload ceiling.
+	maxUDPDatagram = 65507
+	natKeepalive   = 0xFF
+
+	defaultRecvQueue  = 512
+	defaultReadBuffer = 1 << 22
+)
+
+// UDPConfig parameterizes an endpoint and its links.
+type UDPConfig struct {
+	// MTU, when positive, refuses Sends larger than MTU bytes, so a real
+	// link and a simulated one agree on when fragmentation triggers.
+	// 0 allows anything up to the UDP ceiling.
+	MTU int
+	// KeepaliveInterval sends a NAT-T keepalive on each link that has
+	// been transmit-idle this long. 0 disables keepalives.
+	KeepaliveInterval time.Duration
+	// RecvQueue bounds each link's buffered inbound datagrams (beyond it
+	// they drop, as a socket buffer would). 0 means 512.
+	RecvQueue int
+	// ReadBuffer sizes the socket receive buffer. 0 means 4 MiB.
+	ReadBuffer int
+}
+
+// UDPEndpoint owns one UDP socket and routes its traffic to links.
+type UDPEndpoint struct {
+	conn *net.UDPConn
+	cfg  UDPConfig
+
+	mu       sync.Mutex
+	bySPI    map[uint32]*UDPLink
+	byAddr   map[netip.AddrPort]*UDPLink
+	closed   bool
+	unrouted uint64
+}
+
+// ListenUDP opens an endpoint on addr ("" means 127.0.0.1:0 — the
+// loopback-first default) and starts its demux loop.
+func ListenUDP(addr string, cfg UDPConfig) (*UDPEndpoint, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if cfg.RecvQueue == 0 {
+		cfg.RecvQueue = defaultRecvQueue
+	}
+	if cfg.ReadBuffer == 0 {
+		cfg.ReadBuffer = defaultReadBuffer
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	conn.SetReadBuffer(cfg.ReadBuffer)  //nolint:errcheck // best-effort sizing
+	conn.SetWriteBuffer(cfg.ReadBuffer) //nolint:errcheck
+	e := &UDPEndpoint{conn: conn, cfg: cfg,
+		bySPI:  make(map[uint32]*UDPLink),
+		byAddr: make(map[netip.AddrPort]*UDPLink)}
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr returns the bound local address.
+func (e *UDPEndpoint) Addr() netip.AddrPort {
+	return e.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Link opens a link toward peer. spis registers the inbound SPIs this
+// link receives (the SPIs of the SAs terminating here); inbound non-ESP
+// traffic and keepalives from peer route to the link by address.
+func (e *UDPEndpoint) Link(peer netip.AddrPort, spis ...uint32) (*UDPLink, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := e.byAddr[peer]; dup {
+		return nil, fmt.Errorf("wire: link to %v already open", peer)
+	}
+	for _, spi := range spis {
+		if spi == 0 {
+			return nil, fmt.Errorf("wire: SPI 0 is the non-ESP marker")
+		}
+		if _, dup := e.bySPI[spi]; dup {
+			return nil, fmt.Errorf("wire: SPI %#x already registered", spi)
+		}
+	}
+	l := &UDPLink{ep: e, peer: peer,
+		data: make(chan []byte, e.cfg.RecvQueue),
+		ctrl: make(chan []byte, e.cfg.RecvQueue),
+		done: make(chan struct{})}
+	for _, spi := range spis {
+		e.bySPI[spi] = l
+	}
+	l.spis = append(l.spis, spis...)
+	e.byAddr[peer] = l
+	if iv := e.cfg.KeepaliveInterval; iv > 0 {
+		l.lastTx.Store(time.Now().UnixNano())
+		l.keepalive(iv)
+	}
+	return l, nil
+}
+
+// RegisterSPI adds an inbound SPI to an existing link (a rekey's new
+// generation riding the same wire).
+func (e *UDPEndpoint) RegisterSPI(l *UDPLink, spi uint32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if spi == 0 {
+		return fmt.Errorf("wire: SPI 0 is the non-ESP marker")
+	}
+	if cur, dup := e.bySPI[spi]; dup && cur != l {
+		return fmt.Errorf("wire: SPI %#x already registered", spi)
+	}
+	e.bySPI[spi] = l
+	l.spis = append(l.spis, spi)
+	return nil
+}
+
+// Close shuts the socket down; every link's pending Recv returns
+// ErrClosed.
+func (e *UDPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	links := make([]*UDPLink, 0, len(e.byAddr))
+	for _, l := range e.byAddr {
+		links = append(links, l)
+	}
+	e.mu.Unlock()
+	for _, l := range links {
+		l.Close() //nolint:errcheck // idempotent
+	}
+	return e.conn.Close()
+}
+
+// Unrouted returns datagrams that matched no link (demux misses).
+func (e *UDPEndpoint) Unrouted() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.unrouted
+}
+
+func (e *UDPEndpoint) readLoop() {
+	buf := make([]byte, maxUDPDatagram)
+	for {
+		n, from, err := e.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return // socket closed
+		}
+		p := buf[:n]
+		e.mu.Lock()
+		var l *UDPLink
+		switch {
+		case n == 1 && p[0] == natKeepalive:
+			if l = e.byAddr[from]; l != nil {
+				l.mu.Lock()
+				l.stats.Keepalives++
+				l.mu.Unlock()
+			}
+			e.mu.Unlock()
+			continue
+		case n >= 4 && demuxSPI(p) == 0:
+			// Non-ESP marker: control traffic, routed by peer address.
+			if l = e.byAddr[from]; l != nil {
+				l.enqueue(l.ctrl, append([]byte(nil), p[4:]...))
+			} else {
+				e.unrouted++
+			}
+		default:
+			if l = e.bySPI[demuxSPI(p)]; l == nil {
+				l = e.byAddr[from]
+			}
+			if l != nil {
+				l.enqueue(l.data, append([]byte(nil), p...))
+			} else {
+				e.unrouted++
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// UDPLink is one peer's channel over a shared endpoint socket.
+type UDPLink struct {
+	ep   *UDPEndpoint
+	peer netip.AddrPort
+	spis []uint32
+
+	data chan []byte
+	ctrl chan []byte
+	done chan struct{}
+	once sync.Once
+
+	lastTx    atomic.Int64
+	keepsSent atomic.Uint64
+	mu        sync.Mutex
+	stats     Stats
+}
+
+// Send transmits one ESP datagram to the peer.
+func (l *UDPLink) Send(p []byte) error {
+	if err := l.checkSize(len(p)); err != nil {
+		return err
+	}
+	return l.write(p)
+}
+
+// SendControl transmits a non-ESP datagram (IKE traffic) behind the
+// zero marker.
+func (l *UDPLink) SendControl(p []byte) error {
+	if err := l.checkSize(len(p) + 4); err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(p))
+	copy(buf[4:], p)
+	return l.write(buf)
+}
+
+func (l *UDPLink) checkSize(n int) error {
+	max := maxUDPDatagram
+	if l.ep.cfg.MTU > 0 && l.ep.cfg.MTU < max {
+		max = l.ep.cfg.MTU
+	}
+	if n > max {
+		l.mu.Lock()
+		l.stats.TxDrops++
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, n, max)
+	}
+	return nil
+}
+
+func (l *UDPLink) write(p []byte) error {
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
+	if _, err := l.ep.conn.WriteToUDPAddrPort(p, l.peer); err != nil {
+		l.mu.Lock()
+		l.stats.TxDrops++
+		l.mu.Unlock()
+		return fmt.Errorf("wire: %w", err)
+	}
+	l.lastTx.Store(time.Now().UnixNano())
+	l.mu.Lock()
+	l.stats.TxPackets++
+	l.stats.TxBytes += uint64(len(p))
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *UDPLink) enqueue(ch chan []byte, p []byte) {
+	select {
+	case ch <- p:
+		l.mu.Lock()
+		l.stats.RxPackets++
+		l.stats.RxBytes += uint64(len(p))
+		l.mu.Unlock()
+	default:
+		l.mu.Lock()
+		l.stats.RxDrops++
+		l.mu.Unlock()
+	}
+}
+
+// Recv blocks for the next ESP datagram, ErrClosed after Close.
+func (l *UDPLink) Recv() ([]byte, error) {
+	select {
+	case p := <-l.data:
+		return p, nil
+	case <-l.done:
+		// Drain what arrived before the close.
+		select {
+		case p := <-l.data:
+			return p, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// RecvTimeout is Recv bounded by d; it returns ErrNoDatagram on timeout.
+func (l *UDPLink) RecvTimeout(d time.Duration) ([]byte, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case p := <-l.data:
+		return p, nil
+	case <-l.done:
+		return nil, ErrClosed
+	case <-t.C:
+		return nil, ErrNoDatagram
+	}
+}
+
+// RecvControl blocks for the next non-ESP datagram (IKE traffic).
+func (l *UDPLink) RecvControl() ([]byte, error) {
+	select {
+	case p := <-l.ctrl:
+		return p, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// RecvControlTimeout is RecvControl bounded by d (ErrNoDatagram on
+// timeout).
+func (l *UDPLink) RecvControlTimeout(d time.Duration) ([]byte, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case p := <-l.ctrl:
+		return p, nil
+	case <-l.done:
+		return nil, ErrClosed
+	case <-t.C:
+		return nil, ErrNoDatagram
+	}
+}
+
+// keepalive arms the NAT-T keepalive timer: when the link has been
+// transmit-idle for iv, a 0xFF byte refreshes the NAT binding.
+func (l *UDPLink) keepalive(iv time.Duration) {
+	time.AfterFunc(iv, func() {
+		select {
+		case <-l.done:
+			return
+		default:
+		}
+		idle := time.Since(time.Unix(0, l.lastTx.Load()))
+		next := iv - idle
+		if idle >= iv {
+			if _, err := l.ep.conn.WriteToUDPAddrPort([]byte{natKeepalive}, l.peer); err == nil {
+				l.keepsSent.Add(1)
+				l.lastTx.Store(time.Now().UnixNano())
+			}
+			next = iv
+		}
+		if next <= 0 {
+			next = iv
+		}
+		l.keepalive(next)
+	})
+}
+
+// KeepalivesSent returns NAT-T keepalives this link transmitted.
+func (l *UDPLink) KeepalivesSent() uint64 { return l.keepsSent.Load() }
+
+// ControlConn is the link's control plane (non-ESP-marker datagrams) as a
+// plain send/recv pair — the channel IKE exchanges ride. It satisfies
+// ike.Conn structurally.
+type ControlConn struct{ l *UDPLink }
+
+// Control returns the control-plane view of the link.
+func (l *UDPLink) Control() *ControlConn { return &ControlConn{l} }
+
+// Send transmits one control message behind the non-ESP marker.
+func (c *ControlConn) Send(p []byte) error { return c.l.SendControl(p) }
+
+// Recv blocks for the next control message.
+func (c *ControlConn) Recv() ([]byte, error) { return c.l.RecvControl() }
+
+// Peer returns the remote address.
+func (l *UDPLink) Peer() netip.AddrPort { return l.peer }
+
+// Close detaches the link from its endpoint.
+func (l *UDPLink) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		e := l.ep
+		e.mu.Lock()
+		for _, spi := range l.spis {
+			if e.bySPI[spi] == l {
+				delete(e.bySPI, spi)
+			}
+		}
+		if e.byAddr[l.peer] == l {
+			delete(e.byAddr, l.peer)
+		}
+		e.mu.Unlock()
+	})
+	return nil
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *UDPLink) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// MTU returns the configured MTU, or the UDP ceiling.
+func (l *UDPLink) MTU() int {
+	if l.ep.cfg.MTU > 0 {
+		return l.ep.cfg.MTU
+	}
+	return maxUDPDatagram
+}
+
+var _ Link = (*UDPLink)(nil)
