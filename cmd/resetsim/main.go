@@ -17,6 +17,13 @@
 // after N deliveries:
 //
 //	resetsim -rekey-every 500 -msgs 2000 -loss 0.05 -reset-receiver 800
+//
+// With -campaign=<name> the simulation instead runs one of the stealth-DoS
+// campaigns from the adversary layer (window_edge, save_storm, rekey_cutover,
+// blackout_flood) at its baseline and hardened defense settings and prints
+// the bounded-degradation table row pair:
+//
+//	resetsim -campaign=window_edge -msgs 600
 package main
 
 import (
@@ -182,9 +189,31 @@ func main() {
 		lanesN   = flag.Int("lanes", 1, "journal commit lanes per node in the gateway modes (>1 opens the laned medium)")
 		sasN     = flag.Int("sas", 1, "total inbound SAs on the cluster node in failover mode (extras spread across lanes and wake on every takeover)")
 		trans    = flag.String("transport", "mem", "gateway-mode wire transport: mem (in-process) or udp (real UDP-encapsulated loopback sockets)")
+		campaign = flag.String("campaign", "", "run one stealth-DoS campaign (baseline + hardened rows) and exit: window_edge, save_storm, rekey_cutover, or blackout_flood")
 	)
 	flag.Parse()
 
+	if *campaign != "" {
+		ccfg := experiments.DefaultCampaignsConfig()
+		ccfg.Seed = *seed
+		// -msgs retargets the campaign length only when given explicitly;
+		// the flow-mode default of 10000 would make the suite crawl.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "msgs" {
+				ccfg.Packets = int(*msgs)
+			}
+		})
+		tbl, err := experiments.CampaignsOnly(ccfg, *campaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *rekeyN > 0 && *failN > 0 {
 		fmt.Fprintln(os.Stderr, "resetsim: -rekey-every and -failover-every are separate modes")
 		os.Exit(2)

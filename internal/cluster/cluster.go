@@ -97,6 +97,16 @@ type Config struct {
 	// committed, so one apply batch — one follower group commit and one
 	// Ack — covers up to 4*BatchMax records. Zero means DefaultBatchMax.
 	BatchMax int
+	// OnPromote, when set, is called during Takeover inside the wake
+	// window — after the deposed primary is fenced and the epoch durably
+	// bumped, immediately before the standby's gateway image wakes. It
+	// receives the new epoch. This is the cluster's most delicate
+	// instant, which is exactly why it is exposed: the adversary
+	// campaign layer (internal/adversary.BlackoutFlood) injects its
+	// recorded-traffic burst here, and operators hook promotion alerts
+	// here. The callback runs synchronously on the takeover path; keep
+	// it fast, and do not call back into the Standby.
+	OnPromote func(epoch uint64)
 }
 
 // ReplicationStats is a snapshot of a standby's replication progress.
@@ -580,6 +590,10 @@ func (s *Standby) Takeover() (*ipsec.Gateway, uint64, error) {
 	// leaves the standby unpromoted and Takeover retryable.
 	if err := s.cfg.Journal.Cell(EpochKey).Save(epoch); err != nil {
 		return nil, 0, fmt.Errorf("cluster: persist epoch: %w", err)
+	}
+	if s.cfg.OnPromote != nil {
+		// The wake window: fenced, epoch bumped, image not yet awake.
+		s.cfg.OnPromote(epoch)
 	}
 	if err := s.gw.WakeAll(); err != nil {
 		return nil, 0, fmt.Errorf("cluster: wake image: %w", err)

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCampaignsAcceptance runs the stealth-DoS campaign suite and pins
+// the reported numbers. The experiment itself errors on the hard SLOs
+// (goodput below a row's floor, any replay acceptance, a defense knob
+// that fails to improve its campaign's bound); the assertions here keep
+// the table honest — every campaign present, both rows per campaign,
+// zero in every replay_accepts cell.
+func TestCampaignsAcceptance(t *testing.T) {
+	cfg := DefaultCampaignsConfig()
+	cfg.Packets = 240
+
+	tbl, err := Campaigns(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	col := make(map[string]int, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		col[c] = i
+	}
+	rowsPer := make(map[string]int)
+	for _, row := range tbl.Rows {
+		name := row[col["campaign"]]
+		rowsPer[name]++
+		if got := row[col["replay_accepts"]]; got != "0" {
+			t.Errorf("campaign %s (%s): replay_accepts = %s, want 0",
+				name, row[col["defense"]], got)
+		}
+		sent, err := strconv.Atoi(row[col["sent"]])
+		if err != nil || sent <= 0 {
+			t.Errorf("campaign %s: bad sent cell %q", name, row[col["sent"]])
+		}
+		delivered, err := strconv.Atoi(row[col["delivered"]])
+		if err != nil || delivered <= 0 || delivered > sent {
+			t.Errorf("campaign %s: delivered %q out of range (sent %d)",
+				name, row[col["delivered"]], sent)
+		}
+	}
+	for _, name := range CampaignNames() {
+		if rowsPer[name] != 2 {
+			t.Errorf("campaign %s: %d rows, want 2 (baseline + hardened)", name, rowsPer[name])
+		}
+	}
+}
+
+// TestCampaignsOnly checks the single-campaign filter used by resetsim's
+// -campaign flag, including the unknown-name error.
+func TestCampaignsOnly(t *testing.T) {
+	cfg := DefaultCampaignsConfig()
+	cfg.Packets = 120
+
+	tbl, err := CampaignsOnly(cfg, "window_edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[0] != "window_edge" {
+			t.Errorf("row campaign = %q, want window_edge", row[0])
+		}
+	}
+	if _, err := CampaignsOnly(cfg, "no_such_campaign"); err == nil {
+		t.Error("unknown campaign accepted")
+	}
+}

@@ -236,6 +236,13 @@ func All() []Runner {
 			}
 			return Transport(cfg)
 		}},
+		{ID: "campaigns", Paper: "extension: stealth-DoS campaigns (bounded degradation, zero replay acceptance)", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultCampaignsConfig()
+			if fast {
+				cfg.Packets = 240
+			}
+			return Campaigns(cfg)
+		}},
 	}
 }
 

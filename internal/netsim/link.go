@@ -79,9 +79,9 @@ type Link[T any] struct {
 	engine  *Engine
 	cfg     LinkConfig
 	deliver func(T)
-	taps    []func(T)
 
 	mu    sync.Mutex
+	taps  []func(T)
 	stats LinkStats
 }
 
@@ -97,13 +97,24 @@ func NewLink[T any](engine *Engine, cfg LinkConfig, deliver func(T)) *Link[T] {
 	return &Link[T]{engine: engine, cfg: cfg, deliver: deliver}
 }
 
-// Tap registers fn to observe every message handed to Send.
-func (l *Link[T]) Tap(fn func(T)) { l.taps = append(l.taps, fn) }
+// Tap registers fn to observe every message handed to Send. Safe to call
+// while traffic is flowing: an adversary attaches its wiretap mid-run
+// (campaign phases arm and disarm taps against live links).
+func (l *Link[T]) Tap(fn func(T)) {
+	l.mu.Lock()
+	l.taps = append(l.taps, fn)
+	l.mu.Unlock()
+}
 
 // Send transmits v, applying taps and the impairment model.
 func (l *Link[T]) Send(v T) {
-	l.count(func(s *LinkStats) { s.Sent++ })
-	for _, tap := range l.taps {
+	l.mu.Lock()
+	l.stats.Sent++
+	taps := l.taps
+	l.mu.Unlock()
+	// Taps run outside the lock: a tap is allowed to call back into the
+	// link (the adversary's tap->inject shape) without deadlocking.
+	for _, tap := range taps {
 		tap(v)
 	}
 	if l.cfg.MTU > 0 {

@@ -66,6 +66,12 @@ type Config struct {
 	OnData func(payload []byte)
 	// Monitor, when non-nil, is fed by inbound traffic and probe acks.
 	Monitor *dpd.Monitor
+	// OnVerdict, when non-nil, observes every Receive's anti-replay
+	// verdict (delivered or not) before payload dispatch. This is the
+	// goodput-SLO measurement point: campaign harnesses count stale and
+	// duplicate discards here to price an attack's degradation, without
+	// touching the datapath. Called inline on the receive path.
+	OnVerdict func(v core.Verdict)
 	// Lifetime bounds each SA generation.
 	Lifetime ipsec.Lifetime
 	// Clock supplies trace/lifetime timestamps; nil means zero.
@@ -248,6 +254,9 @@ func (p *Peer) Send(payload []byte) error {
 // the anti-replay decision; err covers authentication and parse failures.
 func (p *Peer) Receive(wire []byte) (core.Verdict, error) {
 	payload, verdict, err := p.in.Open(wire)
+	if p.cfg.OnVerdict != nil && err == nil {
+		p.cfg.OnVerdict(verdict)
+	}
 	if err != nil {
 		return verdict, err
 	}

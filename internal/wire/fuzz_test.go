@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// fuzzInnerLink is the null inner link beneath the fuzzed FragLink: probe
+// acks vanish, Recv never yields (the fuzzer drives handleFrame directly).
+type fuzzInnerLink struct{}
+
+func (fuzzInnerLink) Send([]byte) error     { return nil }
+func (fuzzInnerLink) Recv() ([]byte, error) { return nil, ErrNoDatagram }
+func (fuzzInnerLink) Close() error          { return nil }
+func (fuzzInnerLink) Stats() Stats          { return Stats{} }
+func (fuzzInnerLink) MTU() int              { return 0 }
+
+// fuzzFrameStream splits raw fuzz input into a frame sequence with 2-byte
+// big-endian length prefixes (a short final chunk is taken as-is), so one
+// input drives a whole hostile conversation: interleaved ids, splinters,
+// forged headers, retransmissions.
+func fuzzFrameStream(raw []byte) [][]byte {
+	var frames [][]byte
+	for off := 0; off+2 <= len(raw); {
+		n := int(binary.BigEndian.Uint16(raw[off : off+2]))
+		off += 2
+		if n > len(raw)-off {
+			n = len(raw) - off
+		}
+		frames = append(frames, raw[off:off+n])
+		off += n
+	}
+	return frames
+}
+
+// prefixFrames is the seed-side inverse of fuzzFrameStream.
+func prefixFrames(frames ...[]byte) []byte {
+	var raw []byte
+	for _, f := range frames {
+		var lp [2]byte
+		binary.BigEndian.PutUint16(lp[:], uint16(len(f)))
+		raw = append(raw, lp[:]...)
+		raw = append(raw, f...)
+	}
+	return raw
+}
+
+// FuzzFragReassembly throws arbitrary frame sequences at the reassembly
+// state machine. Invariants, no matter how hostile the stream:
+//
+//   - never panic;
+//   - PendingBytes stays within [0, MaxReassemblyBytes] — buffered
+//     reassembly memory is bounded even when every frame lies;
+//   - a frame without the version magic (or shorter than the header)
+//     never delivers a datagram;
+//   - every delivered datagram fits MaxDatagram.
+func FuzzFragReassembly(f *testing.F) {
+	const memBound = 1 << 16
+
+	// Seeds: a legitimate whole-datagram frame, a clean two-fragment
+	// reassembly, and one of each hostile class the catalogue rejects.
+	whole := []byte("a perfectly ordinary datagram")
+	f.Add(prefixFrames(EncodeFrame(7, 0, 1, 0, len(whole), whole)))
+	big := make([]byte, 300)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	f.Add(prefixFrames(
+		EncodeFrame(7, FragFlagFrag, 2, 0, len(big), big[:150]),
+		EncodeFrame(7, FragFlagFrag, 2, 150, len(big), big[150:]),
+	))
+	f.Add(prefixFrames([]byte{0, 0, 0, 7, 0x00, 0, 0, 0, 3, 0, 0, 0, 9})) // bad magic
+	f.Add(prefixFrames(EncodeFrame(7, FragFlagFrag, 4, 0, 500, big[:4]))) // tiny splinter
+	f.Add(prefixFrames(                                                   // overlapping rewrite
+		EncodeFrame(7, FragFlagFrag, 5, 0, len(big), big[:150]),
+		EncodeFrame(7, FragFlagFrag, 5, 100, len(big), big[:150]),
+	))
+	f.Add(prefixFrames(EncodeFrame(probeSPI, FragFlagProbe, 6, 0, 200, make([]byte, 187))))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		l := NewFragLink(fuzzInnerLink{}, FragConfig{
+			MaxReassemblyBytes: memBound,
+			MaxPending:         32,
+			MinFragPayload:     8,
+			Now:                func() time.Duration { return 0 },
+		})
+		for _, frame := range fuzzFrameStream(raw) {
+			p, ok := l.handleFrame(frame)
+			if ok {
+				if len(frame) < fragHdrLen || frame[4]&flagMagicMsk != flagMagic {
+					t.Fatalf("delivered a datagram from a frame without the version magic: % x", frame)
+				}
+				if len(p) > MaxDatagram {
+					t.Fatalf("delivered %d bytes > MaxDatagram %d", len(p), MaxDatagram)
+				}
+			}
+			fs := l.FragStats()
+			if fs.PendingBytes < 0 || fs.PendingBytes > memBound {
+				t.Fatalf("PendingBytes = %d outside [0, %d]", fs.PendingBytes, memBound)
+			}
+		}
+	})
+}

@@ -61,9 +61,14 @@ func (l *ImpairLink) Tap(fn func(p []byte)) {
 func (l *ImpairLink) Send(p []byte) error {
 	l.mu.Lock()
 	taps := l.taps
+	l.mu.Unlock()
+	// Taps run outside the lock: a tap may call straight back into
+	// Inject (the adversary's tap->inject shape, e.g. duplicating the
+	// packet it just observed), which takes l.mu itself.
 	for _, tap := range taps {
 		tap(p)
 	}
+	l.mu.Lock()
 	if l.cfg.LossProb > 0 && l.rng.Float64() < l.cfg.LossProb {
 		l.istats.Lost++
 		l.mu.Unlock()

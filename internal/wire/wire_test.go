@@ -6,9 +6,19 @@ import (
 	"testing"
 	"time"
 
-	"antireplay/internal/adversary"
 	"antireplay/internal/netsim"
 )
+
+// testRecorder is a minimal wiretap recorder. (The real one lives in
+// internal/adversary, which now imports wire for the campaign engine —
+// an in-package test here cannot import it back.)
+type testRecorder struct{ msgs [][]byte }
+
+func (r *testRecorder) Tap() func([]byte) {
+	return func(p []byte) { r.msgs = append(r.msgs, p) }
+}
+func (r *testRecorder) Len() int           { return len(r.msgs) }
+func (r *testRecorder) Messages() [][]byte { return r.msgs }
 
 func TestSimPairRoundTrip(t *testing.T) {
 	e := netsim.NewEngine(1)
@@ -88,7 +98,7 @@ func TestImpairLinkLossAndTap(t *testing.T) {
 	a, b := NewSimPair(e, netsim.LinkConfig{}, netsim.LinkConfig{})
 	imp := NewImpairLink(a, ImpairConfig{Seed: 42, LossProb: 0.5})
 
-	rec := adversary.NewRecorder[[]byte]()
+	rec := &testRecorder{}
 	imp.Tap(rec.Tap())
 
 	const n = 200
