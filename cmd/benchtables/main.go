@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"antireplay/internal/experiments"
+	"antireplay/internal/telemetry"
 )
 
 // jsonResults is the -json output shape. Metrics keys are stable strings;
@@ -47,7 +48,23 @@ func main() {
 	outdir := flag.String("outdir", "", "also write <id>.txt and <id>.csv here")
 	jsonPath := flag.String("json", "", "write machine-readable results (tables + derived metrics) here")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metrics := flag.String("metrics", "", "serve process metrics and pprof on this address for the run's duration (e.g. :9100; :0 picks a free port)")
 	flag.Parse()
+
+	if *metrics != "" {
+		// Long experiment sweeps are exactly when an operator wants to
+		// profile: the server carries the Go runtime gauges on /metrics
+		// plus the full pprof surface.
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterProcess(reg, "apn_process")
+		srv := telemetry.NewServer(telemetry.ServerConfig{Registry: reg})
+		if err := srv.ListenAndServe(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close() //nolint:errcheck // shutdown on exit
+		fmt.Printf("metrics: listening on %s\n", srv.Addr())
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -190,6 +190,7 @@ func main() {
 		sasN     = flag.Int("sas", 1, "total inbound SAs on the cluster node in failover mode (extras spread across lanes and wake on every takeover)")
 		trans    = flag.String("transport", "mem", "gateway-mode wire transport: mem (in-process) or udp (real UDP-encapsulated loopback sockets)")
 		campaign = flag.String("campaign", "", "run one stealth-DoS campaign (baseline + hardened rows) and exit: window_edge, save_storm, rekey_cutover, or blackout_flood")
+		metrics  = flag.String("metrics", "", "serve /metrics, /healthz, /saz, /events, and pprof on this address in the gateway modes (e.g. :9100; :0 picks a free port)")
 	)
 	flag.Parse()
 
@@ -226,18 +227,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resetsim: -transport=udp applies to the gateway modes (-rekey-every / -failover-every)")
 		os.Exit(2)
 	}
-	if *failN > 0 {
-		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w, *lanesN, *sasN, *trans); err != nil {
+	if *metrics != "" && *rekeyN == 0 && *failN == 0 {
+		fmt.Fprintln(os.Stderr, "resetsim: -metrics applies to the gateway modes (-rekey-every / -failover-every)")
+		os.Exit(2)
+	}
+	var tele *simTelemetry
+	if *metrics != "" {
+		var err error
+		if tele, err = newSimTelemetry(*metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
 		}
+		defer tele.close()
+		fmt.Printf("metrics: listening on %s\n", tele.addr())
+	}
+	if *failN > 0 {
+		if err := runFailoverSim(*seed, *msgs, *failN, *loss, *kq, *w, *lanesN, *sasN, *trans, tele); err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		tele.dumpEvents()
 		return
 	}
 	if *rekeyN > 0 {
-		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w, *lanesN, *trans); err != nil {
+		if err := runRekeySim(*seed, *msgs, *rekeyN, *rstRcv, *loss, *kq, *w, *lanesN, *trans, tele); err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
 		}
+		tele.dumpEvents()
 		return
 	}
 
@@ -318,7 +335,7 @@ func main() {
 // reports per-failover replication lag, the post-takeover false-reject
 // window, and — the §3 safety claim under failover — that replaying the
 // entire history re-delivers nothing.
-func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int, lanes, sas int, transport string) error {
+func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, w int, lanes, sas int, transport string, tele *simTelemetry) error {
 	dir, err := os.MkdirTemp("", "resetsim-failover-*")
 	if err != nil {
 		return err
@@ -348,7 +365,8 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	if err != nil {
 		return err
 	}
-	B, err := ipsec.NewGateway(ipsec.GatewayConfig{Journal: jB, K: k, W: w})
+	B, err := ipsec.NewGateway(ipsec.GatewayConfig{Journal: jB, K: k, W: w,
+		OnLifecycle: tele.onLifecycle()})
 	if err != nil {
 		jB.Close()
 		return err
@@ -380,6 +398,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	defer car.close()
 	if car.udp() {
 		fmt.Printf("transport: UDP loopback %v <-> %v\n", car.ea.Addr(), car.eb.Addr())
+		tele.registerLink(car.la)
 	}
 	// -sas extras: additional inbound SAs on the cluster node. They carry no
 	// traffic here, but they spread counters across the lanes, replicate,
@@ -399,7 +418,8 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 		return err
 	}
 	nodeNames[jS] = "node-b"
-	standby, err := cluster.NewStandby(cluster.Config{Source: jB, Journal: jS, K: k, W: w})
+	standby, err := cluster.NewStandby(cluster.Config{Source: jB, Journal: jS, K: k, W: w,
+		OnPromote: tele.onPromote(), OnLifecycle: tele.onLifecycle()})
 	if err != nil {
 		jS.Close()
 		return err
@@ -410,6 +430,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	if err := standby.Mirror(B.Snapshot()); err != nil {
 		return err
 	}
+	tele.setRoles(A, B, standby)
 	journals := []store.Medium{jB, jS}
 	defer func() {
 		for _, j := range journals {
@@ -435,11 +456,13 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 			if !errors.Is(err, core.ErrSaveLag) {
 				return err
 			}
+			tele.countSaveLagRetry()
 			time.Sleep(20 * time.Microsecond)
 		}
 		history = append(history, wire)
 		if rng.Float64() < loss {
 			lost++
+			tele.countLost()
 			continue
 		}
 		got, err := car.deliver(wire)
@@ -452,6 +475,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 				return err
 			}
 			if verdict == core.VerdictHorizon {
+				tele.countHorizonStall()
 				time.Sleep(20 * time.Microsecond)
 				continue
 			}
@@ -459,8 +483,10 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 				delivered++
 				sinceFailover++
 				seen[string(wire)] = true
+				tele.countDelivered()
 			} else {
 				sacrificed++
+				tele.countSacrificed()
 			}
 			break
 		}
@@ -469,6 +495,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 		}
 		sinceFailover = 0
 		failovers++
+		tele.countFailover()
 		lagRecords := standby.Stats().LagRecords
 		lagValues := standby.LagValues()
 		edge, _, _ := B.Journal().Cell(rxKey).Fetch()
@@ -492,7 +519,8 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 		}
 		nodeNames[reborn] = deadName
 		journals = append(journals, reborn)
-		standby, err = cluster.NewStandby(cluster.Config{Source: gw2.Journal(), Journal: reborn, K: k, W: w})
+		standby, err = cluster.NewStandby(cluster.Config{Source: gw2.Journal(), Journal: reborn, K: k, W: w,
+			OnPromote: tele.onPromote(), OnLifecycle: tele.onLifecycle()})
 		if err != nil {
 			return err
 		}
@@ -503,6 +531,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 			return err
 		}
 		B = gw2
+		tele.setRoles(nil, B, standby)
 	}
 	defer standby.Stop()
 
@@ -533,7 +562,7 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 // delivered packets. loss applies both to data packets and to the rekey
 // exchange's messages; resetAt > 0 crashes the receiver gateway
 // mid-exchange at the first rollover after that many deliveries.
-func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int, lanes int, transport string) error {
+func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k uint64, w int, lanes int, transport string, tele *simTelemetry) error {
 	dir, err := os.MkdirTemp("", "resetsim-rekey-*")
 	if err != nil {
 		return err
@@ -552,7 +581,8 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 		if err != nil {
 			return nil, err
 		}
-		return ipsec.NewGateway(ipsec.GatewayConfig{Journal: j, K: k, W: w})
+		return ipsec.NewGateway(ipsec.GatewayConfig{Journal: j, K: k, W: w,
+			OnLifecycle: tele.onLifecycle()})
 	}
 	gwA, err := mkGateway("a")
 	if err != nil {
@@ -599,7 +629,9 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 	defer car.close()
 	if car.udp() {
 		fmt.Printf("transport: UDP loopback %v <-> %v\n", car.ea.Addr(), car.eb.Addr())
+		tele.registerLink(car.la)
 	}
+	tele.setRoles(gwA, gwB, nil)
 
 	var (
 		delivered, sacrificed, lost uint64
@@ -607,9 +639,13 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 		armReset                    bool
 		history                     [][]byte
 		seen                        = make(map[string]bool)
+		observer                    func(rekey.Event)
 	)
+	if tele != nil {
+		observer = rekey.EventObserver(tele.events())
+	}
 	o, err := rekey.New(rekey.Config{
-		A: gwA, B: gwB,
+		A: gwA, B: gwB, Observer: observer,
 		Exchange: func(oldAB, oldBA uint32) (ike.ChildKeys, error) {
 			ini, err := ike.NewRekeyInitiator(ikeCfg("gw-a"), oldAB, oldBA)
 			if err != nil {
@@ -671,6 +707,7 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 			if !errors.Is(err, core.ErrSaveLag) {
 				return nil, err
 			}
+			tele.countSaveLagRetry()
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
@@ -682,13 +719,16 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 			}
 			switch {
 			case verdict == core.VerdictHorizon:
+				tele.countHorizonStall()
 				time.Sleep(20 * time.Microsecond)
 			case verdict.Delivered():
 				delivered++
 				seen[string(wire)] = true
+				tele.countDelivered()
 				return nil
 			default:
 				sacrificed++
+				tele.countSacrificed()
 				return nil
 			}
 		}
@@ -703,6 +743,7 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 		}
 		if rng.Float64() < loss {
 			lost++
+			tele.countLost()
 			continue
 		}
 		got, err := car.deliver(wire)

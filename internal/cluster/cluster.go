@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"antireplay/internal/ipsec"
@@ -107,6 +108,11 @@ type Config struct {
 	// here. The callback runs synchronously on the takeover path; keep
 	// it fast, and do not call back into the Standby.
 	OnPromote func(epoch uint64)
+	// OnLifecycle is passed through to the warm gateway image's
+	// ipsec.GatewayConfig.OnLifecycle, so the takeover's population-wide
+	// wake shows up in the same lifecycle stream as the deposed
+	// primary's reset.
+	OnLifecycle func(kind string, sas int)
 }
 
 // ReplicationStats is a snapshot of a standby's replication progress.
@@ -120,7 +126,16 @@ type ReplicationStats struct {
 	SnapshotLoads uint64
 	// LagRecords is the instantaneous replication lag in records:
 	// committed on the primary, not yet acknowledged by this standby.
+	// It is recomputed from the tails at snapshot time, NOT read from a
+	// gauge the apply loop updates — a follower whose loops have died
+	// shows its true, growing lag even though nothing is applying.
 	LagRecords uint64
+	// LastAckAge is how long ago the stalest lane last acknowledged
+	// anything (attachment counts as an ack). An idle healthy follower's
+	// age grows too — the liveness signal is age combined with
+	// LagRecords: lag pending AND an old ack means the follower is dead,
+	// not idle.
+	LastAckAge time.Duration
 	// SourceEpoch is the highest cluster epoch observed from the source.
 	SourceEpoch uint64
 	// Err is the terminal replication error, if the stream has stopped.
@@ -167,7 +182,16 @@ type laneRepl struct {
 	src *store.Journal
 	dst *store.Journal
 	tl  *store.Tail
-	lag stats.Gauge
+	// lastAck is the wall-clock time (UnixNano) of this lane's most
+	// recent Ack — attachment stamps it too, so age is "since attach"
+	// until the first batch lands. Stats derives last_ack_age from it.
+	lastAck atomic.Int64
+}
+
+// ack forwards the cursor to the source and stamps the ack time.
+func (l *laneRepl) ack(next uint64) {
+	l.tl.Ack(next)
+	l.lastAck.Store(time.Now().UnixNano())
 }
 
 // journalEpoch reads a medium's cluster epoch (0 when never set).
@@ -209,13 +233,14 @@ func NewStandby(cfg Config) (*Standby, error) {
 			ErrFenced, srcEpoch, localEpoch)
 	}
 	gw, err := ipsec.NewGateway(ipsec.GatewayConfig{
-		Journal:  cfg.Journal,
-		K:        cfg.K,
-		W:        cfg.W,
-		ESN:      cfg.ESN,
-		Workers:  cfg.Workers,
-		Lifetime: cfg.Lifetime,
-		Clock:    cfg.Clock,
+		Journal:     cfg.Journal,
+		K:           cfg.K,
+		W:           cfg.W,
+		ESN:         cfg.ESN,
+		Workers:     cfg.Workers,
+		Lifetime:    cfg.Lifetime,
+		Clock:       cfg.Clock,
+		OnLifecycle: cfg.OnLifecycle,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: standby gateway: %w", err)
@@ -238,9 +263,9 @@ func NewStandby(cfg Config) (*Standby, error) {
 			gw.Close()
 			return nil, fmt.Errorf("cluster: follow source lane %d: %w", i, err)
 		}
-		s.lanes = append(s.lanes, &laneRepl{
-			s: s, idx: i, src: srcLanes[i], dst: dstLanes[i], tl: tl,
-		})
+		l := &laneRepl{s: s, idx: i, src: srcLanes[i], dst: dstLanes[i], tl: tl}
+		l.lastAck.Store(time.Now().UnixNano())
+		s.lanes = append(s.lanes, l)
 	}
 	return s, nil
 }
@@ -365,9 +390,8 @@ func (l *laneRepl) run() {
 			s.fail(fmt.Errorf("cluster: apply batch (lane %d): %w", l.idx, err))
 			return
 		}
-		l.tl.Ack(batch[len(batch)-1].Seq + 1)
+		l.ack(batch[len(batch)-1].Seq + 1)
 		s.applied.Add(uint64(len(batch)))
-		l.lag.Set(l.tl.Lag())
 	}
 }
 
@@ -408,9 +432,8 @@ func (l *laneRepl) resync() error {
 	if err := l.dst.Apply(recs); err != nil {
 		return fmt.Errorf("cluster: apply snapshot (lane %d): %w", l.idx, err)
 	}
-	l.tl.Ack(next)
+	l.ack(next)
 	s.snapshots.Add(1)
-	l.lag.Set(l.tl.Lag())
 	return nil
 }
 
@@ -448,23 +471,31 @@ func (s *Standby) Mirror(snap ipsec.GatewaySnapshot) error {
 // by, live after Takeover.
 func (s *Standby) Gateway() *ipsec.Gateway { return s.gw }
 
-// Stats returns a snapshot of replication progress. LagRecords sums the
-// per-lane lag gauges the replication loops publish after every applied
-// batch — the values an operator dashboard would scrape — so it can trail
-// the instantaneous stream position by the batches currently in flight.
+// Stats returns a snapshot of replication progress. LagRecords is
+// recomputed against the source's commit watermark at call time — an
+// earlier version summed gauges the apply loops updated, so a follower
+// whose loops had silently died kept reporting its last healthy lag
+// (usually 0) while the primary committed past it. Scrape-time
+// recomputation is what makes an idle-but-dead follower visible.
 func (s *Standby) Stats() ReplicationStats {
 	s.mu.Lock()
 	err := s.runErr
 	epoch := s.srcEpoch
 	s.mu.Unlock()
 	var lag uint64
+	oldest := time.Duration(0)
+	now := time.Now()
 	for _, l := range s.lanes {
-		lag += l.lag.Value()
+		lag += l.tl.Lag()
+		if age := now.Sub(time.Unix(0, l.lastAck.Load())); age > oldest {
+			oldest = age
+		}
 	}
 	return ReplicationStats{
 		AppliedRecords: s.applied.Value(),
 		SnapshotLoads:  s.snapshots.Value(),
 		LagRecords:     lag,
+		LastAckAge:     oldest,
 		SourceEpoch:    epoch,
 		Err:            err,
 	}

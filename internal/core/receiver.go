@@ -715,6 +715,22 @@ func (r *Receiver) Edge() uint64 {
 // W returns the anti-replay window width.
 func (r *Receiver) W() int { return r.width }
 
+// Occupancy returns how many numbers inside (edge-w, edge] the window has
+// marked seen, or -1 when the window implementation cannot report it. A
+// full window right after a wake is the mark-all-seen reinstall; a sparse
+// one under load betrays loss or reordering.
+func (r *Receiver) Occupancy() int {
+	if w := r.fastWin.Load(); w != nil {
+		return w.Occupancy() // tag-checked scan; no lock needed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o, ok := r.win.(seqwin.Occupier); ok {
+		return o.Occupancy()
+	}
+	return -1
+}
+
 // LastStored returns the last edge value handed to a SAVE (paper: lst).
 func (r *Receiver) LastStored() uint64 { return r.lst.Load() }
 

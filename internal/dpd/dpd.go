@@ -28,9 +28,12 @@ package dpd
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"antireplay/internal/netsim"
+	"antireplay/internal/stats"
+	"antireplay/internal/telemetry"
 )
 
 // PeerState is the monitor's belief about the peer.
@@ -111,7 +114,10 @@ func (c Config) Validate() error {
 }
 
 // Monitor watches one peer. It is driven entirely by the simulation engine
-// thread (not safe for concurrent use from other goroutines).
+// thread (not safe for concurrent use from other goroutines); the
+// published state and the stats counters are atomics, so State, Stats and
+// the telemetry collector MAY be read from any goroutine — a metrics
+// scrape never has to stop the engine.
 type Monitor struct {
 	cfg   Config
 	state PeerState
@@ -119,9 +125,10 @@ type Monitor struct {
 	probe uint64 // last probe sequence sent
 	tries int
 
-	probesSent uint64
-	acks       uint64
-	deaths     uint64
+	pub        atomic.Uint32 // state mirror for cross-goroutine readers
+	probesSent stats.Counter
+	acks       stats.Counter
+	deaths     stats.Counter
 }
 
 // NewMonitor validates cfg and returns a monitor in StateAlive with its
@@ -134,16 +141,37 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 		cfg.MaxProbes = 3
 	}
 	m := &Monitor{cfg: cfg, state: StateAlive}
+	m.pub.Store(uint32(StateAlive))
 	m.armIdle()
 	return m, nil
 }
 
-// State returns the current belief about the peer.
-func (m *Monitor) State() PeerState { return m.state }
+// State returns the current belief about the peer. Readable from any
+// goroutine.
+func (m *Monitor) State() PeerState { return PeerState(m.pub.Load()) }
 
-// Stats returns (probes sent, acks received, dead declarations).
+// Stats returns (probes sent, acks received, dead declarations). Readable
+// from any goroutine.
 func (m *Monitor) Stats() (probes, acks, deaths uint64) {
-	return m.probesSent, m.acks, m.deaths
+	return m.probesSent.Value(), m.acks.Value(), m.deaths.Value()
+}
+
+// CollectTelemetry emits the probe counters and the peer-state belief as
+// a one-hot gauge set, scrape-safe against the engine thread.
+func (m *Monitor) CollectTelemetry(emit telemetry.Emit) {
+	probes, acks, deaths := m.Stats()
+	emit("probes_sent_total", telemetry.KindCounter, float64(probes))
+	emit("acks_total", telemetry.KindCounter, float64(acks))
+	emit("deaths_total", telemetry.KindCounter, float64(deaths))
+	cur := m.State()
+	for _, s := range []PeerState{StateAlive, StateProbing, StateDead, StateExpired} {
+		v := 0.0
+		if s == cur {
+			v = 1
+		}
+		emit("peer_state", telemetry.KindGauge, v,
+			telemetry.Label{Key: "state", Value: s.String()})
+	}
 }
 
 func (m *Monitor) setState(s PeerState) {
@@ -151,6 +179,7 @@ func (m *Monitor) setState(s PeerState) {
 		return
 	}
 	m.state = s
+	m.pub.Store(uint32(s))
 	if m.cfg.OnState != nil {
 		m.cfg.OnState(s)
 	}
@@ -175,7 +204,7 @@ func (m *Monitor) startProbing() {
 func (m *Monitor) sendProbe() {
 	m.probe++
 	m.tries++
-	m.probesSent++
+	m.probesSent.Add(1)
 	m.cfg.SendProbe(m.probe)
 	epoch := m.epoch
 	probe := m.probe
@@ -192,7 +221,7 @@ func (m *Monitor) sendProbe() {
 }
 
 func (m *Monitor) declareDead() {
-	m.deaths++
+	m.deaths.Add(1)
 	m.setState(StateDead)
 	epoch := m.epoch
 	if m.cfg.HoldTime <= 0 {
@@ -227,7 +256,7 @@ func (m *Monitor) NoteAck(probeSeq uint64) {
 	if m.state == StateExpired {
 		return
 	}
-	m.acks++
+	m.acks.Add(1)
 	m.NoteInbound()
 	_ = probeSeq
 }

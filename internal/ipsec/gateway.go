@@ -46,6 +46,12 @@ type GatewayConfig struct {
 	Lifetime Lifetime
 	// Clock feeds SA lifetime accounting; nil means a frozen clock.
 	Clock func() time.Duration
+	// OnLifecycle, if non-nil, observes population-wide lifecycle
+	// transitions: kind is "reset", "wake", "wake-done", or "wake-failed",
+	// and sas is the SA population the transition covered. Called from
+	// ResetAll/WakeAll on the caller's goroutine; keep it fast (the
+	// telemetry event ring's Record is the intended consumer).
+	OnLifecycle func(kind string, sas int)
 }
 
 // DefaultGatewayK is the SAVE interval used when GatewayConfig.K is zero —
@@ -642,6 +648,14 @@ func (g *Gateway) ResetAll() {
 	for _, sa := range snap.inbound {
 		sa.Receiver().Reset()
 	}
+	g.lifecycle("reset", len(snap.outbound)+len(snap.inbound))
+}
+
+// lifecycle reports a population-wide transition to OnLifecycle, if set.
+func (g *Gateway) lifecycle(kind string, sas int) {
+	if g.cfg.OnLifecycle != nil {
+		g.cfg.OnLifecycle(kind, sas)
+	}
 }
 
 // WakeAll runs the paper's wake-up (FETCH + leap + SAVE) on every SA and
@@ -650,6 +664,7 @@ func (g *Gateway) ResetAll() {
 // population's recovery group-commits into a handful of fsyncs.
 func (g *Gateway) WakeAll() error {
 	snap := g.snapshot()
+	g.lifecycle("wake", len(snap.outbound)+len(snap.inbound))
 	for _, sa := range snap.outbound {
 		sa.Sender().Wake()
 	}
@@ -659,6 +674,7 @@ func (g *Gateway) WakeAll() error {
 	for _, sa := range snap.outbound {
 		for i := 0; sa.Sender().State() != core.StateUp; i++ {
 			if err := sa.Sender().LastWakeError(); err != nil {
+				g.lifecycle("wake-failed", 1)
 				return fmt.Errorf("ipsec: gateway wake outbound %#x: %w", sa.SPI(), err)
 			}
 			// An SA removed while waking is permanently down (removal
@@ -675,6 +691,7 @@ func (g *Gateway) WakeAll() error {
 	for _, sa := range snap.inbound {
 		for sa.Receiver().State() != core.StateUp {
 			if err := sa.Receiver().LastWakeError(); err != nil {
+				g.lifecycle("wake-failed", 1)
 				return fmt.Errorf("ipsec: gateway wake inbound %#x: %w", sa.SPI(), err)
 			}
 			// Same removed-while-waking check; the SAD lookup is O(1)
@@ -685,6 +702,7 @@ func (g *Gateway) WakeAll() error {
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
+	g.lifecycle("wake-done", len(snap.outbound)+len(snap.inbound))
 	return nil
 }
 

@@ -3,11 +3,13 @@ package ipsec
 import (
 	"fmt"
 	"net/netip"
+	"strings"
 	"testing"
 
 	"antireplay/internal/core"
 	"antireplay/internal/raceflag"
 	"antireplay/internal/store"
+	"antireplay/internal/telemetry"
 )
 
 // The steady-state datapath contract, pinned: SealAppend, OpenAppend, and
@@ -143,6 +145,121 @@ func TestZeroAllocGatewayVerifyBatchInto(t *testing.T) {
 		b++
 	}); got != 0 {
 		t.Errorf("Gateway.VerifyBatchInto allocates %v per op (%d-packet burst), want 0", got, burst)
+	}
+}
+
+// The instrumented variants: the same per-packet contract with the
+// telemetry layer fully attached — the gateway registered as a /metrics
+// collector and the lifecycle hook set. Collection is read-side (the
+// scrape walks the SA population; the datapath only bumps its existing
+// sharded tallies), so registration must not cost the hot path a single
+// allocation. A scrape before and after the measured window proves the
+// instruments are actually live, not just registered.
+
+func newInstrumentedGateway(t *testing.T) (*Gateway, *telemetry.Registry) {
+	t.Helper()
+	j, err := store.OpenJournal(t.TempDir()+"/j.log", store.JournalWithoutSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	// K is huge so no background SAVE (which allocates in the saver pool)
+	// fires inside the measured window.
+	g, err := NewGateway(GatewayConfig{Journal: j, K: 1 << 30, W: 1024,
+		OnLifecycle: func(string, int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	reg := telemetry.NewRegistry()
+	reg.RegisterCollector("apn_gateway", g)
+	return g, reg
+}
+
+// scrapePackets returns the current apn_gateway seal/verify packet totals.
+func scrapePackets(t *testing.T, reg *telemetry.Registry) (sealed, verified float64) {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, "apn_gateway_seal_packets_total "); ok {
+			fmt.Sscanf(v, "%g", &sealed) //nolint:errcheck // parse checked by caller
+		}
+		if v, ok := strings.CutPrefix(line, "apn_gateway_verify_packets_total "); ok {
+			fmt.Sscanf(v, "%g", &verified) //nolint:errcheck // parse checked by caller
+		}
+	}
+	return sealed, verified
+}
+
+func TestZeroAllocInstrumentedSealAppend(t *testing.T) {
+	skipUnderRace(t)
+	g, reg := newInstrumentedGateway(t)
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.1.1")
+	if _, err := g.AddOutbound(0x77, testKeys(true), Selector{
+		Src: netip.PrefixFrom(src, 32), Dst: netip.PrefixFrom(dst, 32),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := scrapePackets(t, reg)
+	payload := make([]byte, 256)
+	buf := make([]byte, 0, 4096)
+	if got := testing.AllocsPerRun(500, func() {
+		out, err := g.SealAppend(buf[:0], src, dst, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); got != 0 {
+		t.Errorf("instrumented Gateway.SealAppend allocates %v per op, want 0", got)
+	}
+	if after, _ := scrapePackets(t, reg); after <= before {
+		t.Errorf("seal_packets_total stuck at %v, instruments not live", after)
+	}
+}
+
+func TestZeroAllocInstrumentedOpenAppend(t *testing.T) {
+	skipUnderRace(t)
+	g, reg := newInstrumentedGateway(t)
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.1.1")
+	if _, err := g.AddOutbound(0x77, testKeys(true), Selector{
+		Src: netip.PrefixFrom(src, 32), Dst: netip.PrefixFrom(dst, 32),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddInbound(0x77, testKeys(true)); err != nil {
+		t.Fatal(err)
+	}
+	wires := make([][]byte, 600)
+	for i := range wires {
+		w, err := g.Seal(src, dst, make([]byte, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = w
+	}
+	_, before := scrapePackets(t, reg)
+	buf := make([]byte, 0, 4096)
+	i := 0
+	if got := testing.AllocsPerRun(500, func() {
+		res, v, err := g.OpenAppend(buf[:0], wires[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Delivered() {
+			t.Fatalf("packet %d not delivered: %v", i, v)
+		}
+		buf = res[:0]
+		i++
+	}); got != 0 {
+		t.Errorf("instrumented Gateway.OpenAppend allocates %v per op, want 0", got)
+	}
+	if _, after := scrapePackets(t, reg); after <= before {
+		t.Errorf("verify_packets_total stuck at %v, instruments not live", after)
 	}
 }
 

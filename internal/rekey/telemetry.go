@@ -1,0 +1,33 @@
+package rekey
+
+import "antireplay/internal/telemetry"
+
+var (
+	_ telemetry.Collector = Stats{}
+	_ telemetry.Collector = (*Orchestrator)(nil)
+)
+
+// CollectTelemetry emits the rekey lifecycle phase counts: how many
+// rollovers each phase of the make-before-break has completed or lost.
+func (s Stats) CollectTelemetry(emit telemetry.Emit) {
+	emit("soft_triggers_total", telemetry.KindCounter, float64(s.SoftTriggers))
+	emit("rollovers_total", telemetry.KindCounter, float64(s.Rollovers))
+	emit("exchange_failures_total", telemetry.KindCounter, float64(s.ExchangeFailures))
+	emit("abandoned_total", telemetry.KindCounter, float64(s.Abandoned))
+	emit("retired_total", telemetry.KindCounter, float64(s.Retired))
+}
+
+// CollectTelemetry emits a live snapshot of the orchestrator's counters.
+func (o *Orchestrator) CollectTelemetry(emit telemetry.Emit) {
+	o.Stats().CollectTelemetry(emit)
+}
+
+// EventObserver adapts a telemetry event ring to Config.Observer: every
+// rekey lifecycle event lands in the ring under layer "rekey". Safe under
+// the Observer contract (fast, no call-backs — one atomic claim and a
+// pointer store). Compose with an existing observer by calling both.
+func EventObserver(ev *telemetry.Events) func(Event) {
+	return func(e Event) {
+		ev.RecordDetail("rekey", e.Kind.String(), e.ABSPI, uint64(e.Attempt), "")
+	}
+}

@@ -3,6 +3,8 @@ package store
 import (
 	"sync"
 	"sync/atomic"
+
+	"antireplay/internal/stats"
 )
 
 // SaverPool executes background SAVEs for many stores on a bounded set of
@@ -23,6 +25,12 @@ type SaverPool struct {
 	shards []poolShard
 	rr     atomic.Uint32 // round-robin cursor for lane-less handles
 	wg     sync.WaitGroup
+
+	// requested counts StartSave calls; persisted counts the coalesced
+	// writes that actually reached the stores. The difference is the
+	// pool's coalescing win — saves absorbed into a later write.
+	requested stats.Counter
+	persisted stats.Counter
 }
 
 // poolShard is one worker's private queue.
@@ -69,14 +77,36 @@ func (p *SaverPool) Saver(st Store) *PoolSaver {
 	if shard < 0 {
 		shard = int(p.rr.Add(1)-1) % len(p.shards)
 	}
-	s := &PoolSaver{sh: &p.shards[shard], st: st}
+	s := &PoolSaver{p: p, sh: &p.shards[shard], st: st}
 	s.idle = sync.NewCond(&s.mu)
 	return s
+}
+
+// SavesRequested returns how many saves handles have queued (StartSave
+// calls) over the pool's lifetime.
+func (p *SaverPool) SavesRequested() uint64 { return p.requested.Value() }
+
+// SavesPersisted returns how many coalesced writes reached the stores.
+// SavesRequested minus SavesPersisted is the coalescing win.
+func (p *SaverPool) SavesPersisted() uint64 { return p.persisted.Value() }
+
+// QueueDepth returns how many handles currently have pending work across
+// all shards — the backlog a scrape watches for saver-pool saturation.
+func (p *SaverPool) QueueDepth() int {
+	depth := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		depth += len(sh.queue)
+		sh.mu.Unlock()
+	}
+	return depth
 }
 
 // PoolSaver queues saves for one store onto its pool shard. It satisfies
 // core.BackgroundSaver.
 type PoolSaver struct {
+	p  *SaverPool
 	sh *poolShard
 	st Store
 
@@ -90,6 +120,9 @@ type PoolSaver struct {
 // once (from a pool worker) with the result of the save that covered v.
 // After the pool is closed, done is invoked synchronously with ErrClosed.
 func (s *PoolSaver) StartSave(v uint64, done func(error)) {
+	if s.p != nil {
+		s.p.requested.Add(1)
+	}
 	s.mu.Lock()
 	s.pending = append(s.pending, pendingSave{v: v, done: done})
 	enqueue := !s.active
@@ -156,6 +189,9 @@ func (s *PoolSaver) drain() {
 		s.pending = nil
 		s.mu.Unlock()
 
+		if s.p != nil {
+			s.p.persisted.Add(1)
+		}
 		saveBatch(s.st, batch)
 	}
 }

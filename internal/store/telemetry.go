@@ -1,0 +1,85 @@
+package store
+
+import (
+	"strconv"
+
+	"antireplay/internal/telemetry"
+)
+
+var (
+	_ telemetry.Collector = RecoveryStats{}
+	_ telemetry.Collector = (*Journal)(nil)
+	_ telemetry.Collector = (*Lanes)(nil)
+	_ telemetry.Collector = (*SaverPool)(nil)
+)
+
+// CollectTelemetry emits the recovery scan's outcome. Replay/drop counts
+// are monotone over the medium's life (recovery happens once, at open),
+// torn_tail is the 0/1 flag a clean shutdown leaves at 0.
+func (s RecoveryStats) CollectTelemetry(emit telemetry.Emit) {
+	emit("recovery_frames_replayed_total", telemetry.KindCounter, float64(s.FramesReplayed))
+	emit("recovery_frames_dropped_total", telemetry.KindCounter, float64(s.FramesDropped))
+	torn := 0.0
+	if s.TornTail {
+		torn = 1
+	}
+	emit("recovery_torn_tail", telemetry.KindGauge, torn)
+}
+
+// mediumTelemetry is the family set Journal and Lanes share: commit
+// pipeline counters, footprint gauges, the fence flag, and the recovery
+// scan's outcome.
+func mediumTelemetry(m Medium, emit telemetry.Emit, labels ...telemetry.Label) {
+	emit("appends_total", telemetry.KindCounter, float64(m.Appends()), labels...)
+	emit("syncs_total", telemetry.KindCounter, float64(m.Syncs()), labels...)
+	emit("compactions_total", telemetry.KindCounter, float64(m.Compactions()), labels...)
+	emit("keys", telemetry.KindGauge, float64(m.Keys()), labels...)
+	emit("log_size_bytes", telemetry.KindGauge, float64(m.LogSize()), labels...)
+	fenced := 0.0
+	if m.Fenced() != nil {
+		fenced = 1
+	}
+	emit("fenced", telemetry.KindGauge, fenced, labels...)
+}
+
+// CollectTelemetry emits the journal's live commit-pipeline counters,
+// footprint, fence state, and recovery stats. Scrape-time only: each
+// sample takes the journal's mutex once.
+func (j *Journal) CollectTelemetry(emit telemetry.Emit) {
+	mediumTelemetry(j, emit)
+	j.RecoveryStats().CollectTelemetry(emit)
+}
+
+// CollectTelemetry emits the laned medium's aggregate families plus the
+// per-lane commit counters under a lane label — the per-lane view is what
+// shows one hot lane saturating while the aggregate looks healthy.
+func (l *Lanes) CollectTelemetry(emit telemetry.Emit) {
+	mediumTelemetry(l, emit)
+	l.RecoveryStats().CollectTelemetry(emit)
+	for i, lane := range l.LaneJournals() {
+		label := telemetry.Label{Key: "lane", Value: strconv.Itoa(i)}
+		emit("lane_appends_total", telemetry.KindCounter, float64(lane.Appends()), label)
+		emit("lane_syncs_total", telemetry.KindCounter, float64(lane.Syncs()), label)
+	}
+}
+
+// MediumCollector adapts any Medium (journal or lanes) for registration.
+func MediumCollector(m Medium) telemetry.Collector {
+	if c, ok := m.(telemetry.Collector); ok {
+		return c
+	}
+	return telemetry.CollectorFunc(func(emit telemetry.Emit) {
+		mediumTelemetry(m, emit)
+	})
+}
+
+// CollectTelemetry emits the saver pool's backlog and coalescing: queued
+// handle depth, save requests, and persisted writes. requested minus
+// persisted (rate over rate, in a dashboard) is the coalescing win — how
+// many queued saves were absorbed into a later write instead of paying
+// their own store round-trip.
+func (p *SaverPool) CollectTelemetry(emit telemetry.Emit) {
+	emit("queue_depth", telemetry.KindGauge, float64(p.QueueDepth()))
+	emit("saves_requested_total", telemetry.KindCounter, float64(p.SavesRequested()))
+	emit("saves_persisted_total", telemetry.KindCounter, float64(p.SavesPersisted()))
+}

@@ -3,9 +3,11 @@ package store
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"antireplay/internal/raceflag"
+	"antireplay/internal/telemetry"
 )
 
 // TestZeroAllocJournalSave pins the commit pipeline's allocation contract:
@@ -79,5 +81,61 @@ func TestZeroAllocLanesSave(t *testing.T) {
 		}
 	}); got != 0 {
 		t.Errorf("laned save allocates %v per op, want 0", got)
+	}
+}
+
+// TestZeroAllocInstrumentedJournalSave is the telemetry-attached variant:
+// the journal registered as a /metrics collector, scraped before and
+// after the measured window. Collection is read-side (the scrape reads
+// the journal's existing counters), so a steady-state Cell.Save must
+// still allocate nothing per record with the instruments live.
+func TestZeroAllocInstrumentedJournalSave(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.log"),
+		JournalWithoutSync(), JournalCompactAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	reg := telemetry.NewRegistry()
+	reg.RegisterCollector("apn_journal", j)
+
+	scrapeAppends := func() float64 {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(b.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "apn_journal_appends_total "); ok {
+				var v float64
+				fmt.Sscanf(rest, "%g", &v) //nolint:errcheck // zero on parse failure fails the growth check
+				return v
+			}
+		}
+		t.Fatal("scrape missing apn_journal_appends_total")
+		return 0
+	}
+
+	cell := j.Cell("rx/0000002a")
+	v := uint64(0)
+	for i := 0; i < 64; i++ {
+		v++
+		if err := cell.Save(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := scrapeAppends()
+	if got := testing.AllocsPerRun(2000, func() {
+		v++
+		if err := cell.Save(v); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("instrumented journal save allocates %v per op, want 0", got)
+	}
+	if after := scrapeAppends(); after <= before {
+		t.Errorf("appends_total stuck at %v, instruments not live", after)
 	}
 }

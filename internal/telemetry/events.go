@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one lifecycle occurrence: a reset, a wake, a cluster promotion,
+// a rekey phase, a DPD state change, a horizon stall. Events are the
+// narrative complement to the counters — a blackout window or a stealth
+// campaign is reconstructable from the ring's promote/wake/reject sequence
+// where the counters only show totals moved.
+type Event struct {
+	// Seq is the event's position in the stream, monotone from 1. Gaps in
+	// a snapshot mean the ring wrapped over older events.
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock capture time.
+	At time.Time `json:"at"`
+	// Layer names the emitting subsystem: "gateway", "cluster", "rekey",
+	// "tunnel", "dpd", "sim".
+	Layer string `json:"layer"`
+	// Kind is the event type within the layer: "reset", "wake",
+	// "wake_done", "promote", "cutover", "save_horizon", ...
+	Kind string `json:"kind"`
+	// SPI is the affected SA, when the event is per-SA.
+	SPI uint32 `json:"spi,omitempty"`
+	// Value is the event's headline number: the cluster epoch for a
+	// promote, the SA count for a reset/wake, the attempt for a rekey.
+	Value uint64 `json:"value,omitempty"`
+	// Detail is optional free text (an error string, a state name).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Events is the bounded lifecycle event journal: a fixed-size lock-free
+// ring. Record claims a slot with one atomic increment and publishes the
+// event with one atomic pointer store — writers never block each other or
+// readers, and a full ring overwrites the oldest entries instead of
+// growing. Record allocates the one Event it publishes; lifecycle events
+// are orders of magnitude rarer than packets, so the ring trades that
+// small allocation for race-free snapshots (the per-packet zero-alloc
+// contract applies to the metrics instruments, not here).
+//
+// The zero Events is inert: Record and Snapshot on nil or zero receivers
+// are no-ops, so layers can thread an optional *Events without nil checks.
+type Events struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewEvents returns a ring holding the last n events, n rounded up to a
+// power of two (minimum 16).
+func NewEvents(n int) *Events {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &Events{mask: uint64(size - 1), slots: make([]atomic.Pointer[Event], size)}
+}
+
+// Record appends an event. Safe for any concurrency; nil-safe.
+func (e *Events) Record(layer, kind string, spi uint32, value uint64) {
+	e.record(Event{Layer: layer, Kind: kind, SPI: spi, Value: value})
+}
+
+// RecordDetail appends an event with free-text detail.
+func (e *Events) RecordDetail(layer, kind string, spi uint32, value uint64, detail string) {
+	e.record(Event{Layer: layer, Kind: kind, SPI: spi, Value: value, Detail: detail})
+}
+
+func (e *Events) record(ev Event) {
+	if e == nil || e.slots == nil {
+		return
+	}
+	ev.Seq = e.next.Add(1)
+	ev.At = time.Now()
+	e.slots[ev.Seq&e.mask].Store(&ev)
+}
+
+// Total returns how many events have ever been recorded (not how many the
+// ring still holds).
+func (e *Events) Total() uint64 {
+	if e == nil || e.slots == nil {
+		return 0
+	}
+	return e.next.Load()
+}
+
+// Cap returns the ring capacity.
+func (e *Events) Cap() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.slots)
+}
+
+// Snapshot returns the retained events, oldest first. It is a best-effort
+// read under concurrent writers: an event being overwritten mid-snapshot
+// is either its old or new value, never torn, and the result is re-sorted
+// by sequence so the narrative order holds.
+func (e *Events) Snapshot() []Event {
+	if e == nil || e.slots == nil {
+		return nil
+	}
+	n := e.next.Load()
+	out := make([]Event, 0, len(e.slots))
+	lo := uint64(1)
+	if n > uint64(len(e.slots)) {
+		lo = n - uint64(len(e.slots)) + 1
+	}
+	for seq := lo; seq <= n; seq++ {
+		ev := e.slots[seq&e.mask].Load()
+		// A slot may hold an event newer than seq (a writer lapped us) or
+		// older (the claimed slot is not yet published); both are simply
+		// not the event asked for.
+		if ev != nil && ev.Seq == seq {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSON renders the snapshot as a JSON array, oldest first.
+func (e *Events) WriteJSON(w io.Writer) error {
+	snap := e.Snapshot()
+	if snap == nil {
+		snap = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

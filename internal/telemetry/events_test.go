@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventsRecordAndSnapshot(t *testing.T) {
+	e := NewEvents(16)
+	e.Record("cluster", "promote", 0, 3)
+	e.RecordDetail("gateway", "wake", 0x1001, 2, "post-takeover")
+
+	snap := e.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].Layer != "cluster" || snap[0].Kind != "promote" || snap[0].Value != 3 {
+		t.Errorf("first event = %+v", snap[0])
+	}
+	if snap[1].SPI != 0x1001 || snap[1].Detail != "post-takeover" {
+		t.Errorf("second event = %+v", snap[1])
+	}
+	if snap[0].Seq >= snap[1].Seq {
+		t.Errorf("sequence not monotone: %d then %d", snap[0].Seq, snap[1].Seq)
+	}
+	if snap[0].At.IsZero() {
+		t.Error("timestamp not stamped")
+	}
+}
+
+func TestEventsWraparound(t *testing.T) {
+	e := NewEvents(16)
+	for i := 0; i < 100; i++ {
+		e.Record("sim", "tick", 0, uint64(i))
+	}
+	snap := e.Snapshot()
+	if len(snap) != e.Cap() {
+		t.Fatalf("snapshot len = %d, want ring cap %d", len(snap), e.Cap())
+	}
+	if e.Total() != 100 {
+		t.Errorf("total = %d, want 100", e.Total())
+	}
+	// Oldest retained is total-cap+1; newest is total.
+	if snap[0].Seq != 100-uint64(e.Cap())+1 || snap[len(snap)-1].Seq != 100 {
+		t.Errorf("retained range [%d, %d]", snap[0].Seq, snap[len(snap)-1].Seq)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("gap in retained window at %d: %d -> %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestEventsConcurrent(t *testing.T) {
+	e := NewEvents(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Record("sim", "spin", uint32(g), uint64(i))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	for {
+		select {
+		case <-done:
+			if e.Total() != 8*200 {
+				t.Errorf("total = %d, want %d", e.Total(), 8*200)
+			}
+			snap := e.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq <= snap[i-1].Seq {
+					t.Fatalf("snapshot out of order at %d", i)
+				}
+			}
+			return
+		default:
+			e.Snapshot() // hammer reads against the writers
+		}
+	}
+}
+
+func TestEventsNilSafe(t *testing.T) {
+	var e *Events
+	e.Record("x", "y", 0, 0)
+	if e.Snapshot() != nil || e.Total() != 0 || e.Cap() != 0 {
+		t.Error("nil ring should be inert")
+	}
+	var zero Events
+	zero.Record("x", "y", 0, 0)
+	if zero.Snapshot() != nil {
+		t.Error("zero ring should be inert")
+	}
+}
+
+func TestEventsWriteJSON(t *testing.T) {
+	e := NewEvents(16)
+	e.Record("rekey", "cutover", 0x2002, 1)
+	var b strings.Builder
+	if err := e.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"layer": "rekey"`, `"kind": "cutover"`, `"spi": 8194`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

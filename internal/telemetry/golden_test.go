@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsGolden pins the exact exposition bytes for a representative
+// registry — instruments of every kind, labels, funcs, and a collector —
+// so a formatting regression (family ordering, TYPE headers, label
+// escaping, histogram cumulative buckets) diffs loudly instead of
+// breaking scrapers quietly. Regenerate with: go test ./internal/telemetry
+// -run TestMetricsGolden -update
+func TestMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+
+	r.Counter("apn_gateway_sealed_total", "Packets sealed.").Add(12345)
+	r.Counter("apn_journal_appends_total", "Journal appends.", Label{"lane", "0"}).Add(100)
+	r.Counter("apn_journal_appends_total", "Journal appends.", Label{"lane", "1"}).Add(200)
+	r.Gauge("apn_pool_queue_depth", "Savers queued.").Set(4)
+	r.GaugeFunc("apn_cluster_lag_records", "Replication lag.", func() float64 { return 17 })
+	r.CounterFunc("apn_cluster_applied_total", "Applied records.", func() uint64 { return 999 })
+	h := r.Histogram("apn_save_latency_seconds", "SAVE latency.", ExpBuckets(0.0001, 10, 4))
+	h.Observe(0.00005)
+	h.Observe(0.0005)
+	h.Observe(0.25)
+	r.Gauge("apn_label_escape", "Escaping.", Label{"path", `C:\logs "a"` + "\nb"}).Set(1)
+	r.RegisterCollector("apn_link", CollectorFunc(func(emit Emit) {
+		emit("tx_packets_total", KindCounter, 42)
+		emit("rx_drops_total", KindCounter, 7)
+		emit("mtu_bytes", KindGauge, 1452)
+	}))
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	if errs := r.Lint(); len(errs) != 0 {
+		t.Errorf("golden registry should lint clean: %v", errs)
+	}
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryVendedInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("apn_test_events_total", "Test events.")
+	g := r.Gauge("apn_test_depth", "Test depth.")
+	h := r.Histogram("apn_test_latency_seconds", "Test latency.", []float64{0.01, 0.1})
+
+	c.Add(3)
+	g.Set(7)
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE apn_test_events_total counter",
+		"apn_test_events_total 3",
+		"# TYPE apn_test_depth gauge",
+		"apn_test_depth 7",
+		"# TYPE apn_test_latency_seconds histogram",
+		`apn_test_latency_seconds_bucket{le="0.01"} 1`,
+		`apn_test_latency_seconds_bucket{le="0.1"} 1`,
+		`apn_test_latency_seconds_bucket{le="+Inf"} 2`,
+		"apn_test_latency_seconds_sum 0.505",
+		"apn_test_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryLabels(t *testing.T) {
+	r := NewRegistry()
+	c0 := r.Counter("apn_lane_appends_total", "Per-lane appends.", Label{"lane", "0"})
+	c1 := r.Counter("apn_lane_appends_total", "Per-lane appends.", Label{"lane", "1"})
+	c0.Add(1)
+	c1.Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `apn_lane_appends_total{lane="0"} 1`) ||
+		!strings.Contains(out, `apn_lane_appends_total{lane="1"} 2`) {
+		t.Errorf("labelled series missing:\n%s", out)
+	}
+	// One TYPE header for the family, not one per series.
+	if n := strings.Count(out, "# TYPE apn_lane_appends_total"); n != 1 {
+		t.Errorf("family header written %d times", n)
+	}
+}
+
+func TestRegistryFuncsAndCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("apn_applied_total", "Applied records.", func() uint64 { return 42 })
+	r.GaugeFunc("apn_lag_ratio", "Lag ratio.", func() float64 { return 0.25 })
+	r.RegisterCollector("apn_link", CollectorFunc(func(emit Emit) {
+		emit("tx_packets_total", KindCounter, 9)
+		emit("rx_drops_total", KindCounter, 1, Label{"dir", "rx"})
+	}))
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"apn_applied_total 42",
+		"apn_lag_ratio 0.25",
+		"# TYPE apn_link_tx_packets_total counter",
+		"apn_link_tx_packets_total 9",
+		`apn_link_rx_drops_total{dir="rx"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "counter without _total", func() { r.Counter("apn_bad", "") })
+	mustPanic(t, "gauge with _total", func() { r.Gauge("apn_bad_total", "") })
+	mustPanic(t, "uppercase name", func() { r.Counter("APN_bad_total", "") })
+	mustPanic(t, "reserved suffix", func() { r.Gauge("apn_bad_bucket", "") })
+	mustPanic(t, "reserved label", func() { r.Counter("apn_x_total", "", Label{"le", "1"}) })
+	mustPanic(t, "bad label key", func() { r.Counter("apn_y_total", "", Label{"Lane", "1"}) })
+
+	r.Counter("apn_dup_total", "", Label{"lane", "0"})
+	mustPanic(t, "duplicate series", func() { r.Counter("apn_dup_total", "", Label{"lane", "0"}) })
+	mustPanic(t, "kind conflict", func() { r.GaugeFunc("apn_dup_total", "", nil, Label{"lane", "1"}) })
+	mustPanic(t, "label-key conflict", func() { r.Counter("apn_dup_total", "", Label{"shard", "0"}) })
+}
+
+func TestRegistryLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("apn_good_total", "Fine.")
+	r.RegisterCollector("apn_src", CollectorFunc(func(emit Emit) {
+		emit("bad_gauge_total", KindGauge, 1) // gauge with _total
+		emit("dup_total", KindCounter, 1)
+		emit("dup_total", KindCounter, 2) // duplicate series
+	}))
+	errs := r.Lint()
+	if len(errs) != 2 {
+		t.Fatalf("want 2 lint errors, got %d: %v", len(errs), errs)
+	}
+}
+
+func TestRegistryConcurrentScrapeAndAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("apn_spin_total", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Add(1)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.001, 10, 3)) // 0.001, 0.01, 0.1
+	for _, v := range []float64{0.0005, 0.002, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 0.0005+0.002+0.05+5 {
+		t.Errorf("sum = %g", got)
+	}
+	mustPanic(t, "unsorted buckets", func() { NewHistogram([]float64{1, 1}) })
+
+	lin := LinearBuckets(10, 10, 3)
+	if lin[0] != 10 || lin[2] != 30 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+}

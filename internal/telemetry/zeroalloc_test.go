@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"testing"
+
+	"antireplay/internal/raceflag"
+)
+
+// The instrument contract: a pre-resolved handle costs zero allocations
+// per operation, so threading telemetry through the seal/open/save hot
+// paths cannot regress the datapath's pinned allocation budget. These run
+// under the CI zero-alloc gate (go test -run 'TestZeroAlloc').
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("allocation pinning is meaningless under -race instrumentation")
+	}
+}
+
+func TestZeroAllocCounterAdd(t *testing.T) {
+	skipUnderRace(t)
+	r := NewRegistry()
+	c := r.Counter("apn_zero_total", "")
+	if n := testing.AllocsPerRun(500, func() { c.Add(1) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op", n)
+	}
+}
+
+func TestZeroAllocGaugeSet(t *testing.T) {
+	skipUnderRace(t)
+	r := NewRegistry()
+	g := r.Gauge("apn_zero_depth", "")
+	var v uint64
+	if n := testing.AllocsPerRun(500, func() { v++; g.Set(v) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+}
+
+func TestZeroAllocHistogramObserve(t *testing.T) {
+	skipUnderRace(t)
+	r := NewRegistry()
+	h := r.Histogram("apn_zero_seconds", "", ExpBuckets(0.0001, 10, 6))
+	v := 0.00005
+	if n := testing.AllocsPerRun(500, func() { v *= 1.1; h.Observe(v) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}

@@ -1,0 +1,82 @@
+package wire
+
+import "antireplay/internal/telemetry"
+
+// The wire layer's snapshot structs implement telemetry.Collector, so a
+// link's numbers register under a prefix instead of being yet another
+// struct readable only from test code. The snapshots are values — register
+// a live link with a CollectorFunc that re-snapshots at scrape time:
+//
+//	reg.RegisterCollector("apn_wire", telemetry.CollectorFunc(
+//		func(emit telemetry.Emit) { link.Stats().CollectTelemetry(emit) }))
+
+var (
+	_ telemetry.Collector = Stats{}
+	_ telemetry.Collector = GateStats{}
+	_ telemetry.Collector = ImpairStats{}
+	_ telemetry.Collector = FragStats{}
+)
+
+// CollectTelemetry emits the link's transfer and drop counters.
+func (s Stats) CollectTelemetry(emit telemetry.Emit) {
+	emit("tx_packets_total", telemetry.KindCounter, float64(s.TxPackets))
+	emit("tx_bytes_total", telemetry.KindCounter, float64(s.TxBytes))
+	emit("rx_packets_total", telemetry.KindCounter, float64(s.RxPackets))
+	emit("rx_bytes_total", telemetry.KindCounter, float64(s.RxBytes))
+	emit("tx_drops_total", telemetry.KindCounter, float64(s.TxDrops))
+	emit("rx_drops_total", telemetry.KindCounter, float64(s.RxDrops))
+	emit("keepalives_total", telemetry.KindCounter, float64(s.Keepalives))
+}
+
+// CollectTelemetry emits the replay-gate's admission counters.
+func (s GateStats) CollectTelemetry(emit telemetry.Emit) {
+	emit("passed_total", telemetry.KindCounter, float64(s.Passed))
+	emit("dropped_total", telemetry.KindCounter, float64(s.Dropped))
+	emit("held_total", telemetry.KindCounter, float64(s.Held))
+	emit("released_total", telemetry.KindCounter, float64(s.Released))
+	emit("held_dropped_total", telemetry.KindCounter, float64(s.HeldDropped))
+	emit("injected_total", telemetry.KindCounter, float64(s.Injected))
+}
+
+// CollectTelemetry emits the impairment middleware's interference counts.
+func (s ImpairStats) CollectTelemetry(emit telemetry.Emit) {
+	emit("lost_total", telemetry.KindCounter, float64(s.Lost))
+	emit("duplicated_total", telemetry.KindCounter, float64(s.Duplicated))
+	emit("reordered_total", telemetry.KindCounter, float64(s.Reordered))
+	emit("injected_total", telemetry.KindCounter, float64(s.Injected))
+}
+
+// CollectTelemetry emits the fragmentation layer's work and its headline
+// security counter (hostile_drops).
+func (s FragStats) CollectTelemetry(emit telemetry.Emit) {
+	emit("frags_tx_total", telemetry.KindCounter, float64(s.FragsTx))
+	emit("frags_rx_total", telemetry.KindCounter, float64(s.FragsRx))
+	emit("reassembled_total", telemetry.KindCounter, float64(s.Reassembled))
+	emit("atomic_frags_total", telemetry.KindCounter, float64(s.AtomicFrags))
+	emit("hostile_drops_total", telemetry.KindCounter, float64(s.HostileDrops))
+	emit("timeout_drops_total", telemetry.KindCounter, float64(s.TimeoutDrops))
+	emit("evict_drops_total", telemetry.KindCounter, float64(s.EvictDrops))
+	emit("bad_frames_total", telemetry.KindCounter, float64(s.BadFrames))
+	emit("probes_tx_total", telemetry.KindCounter, float64(s.ProbesTx))
+	emit("probes_rx_total", telemetry.KindCounter, float64(s.ProbesRx))
+	emit("probe_acks_total", telemetry.KindCounter, float64(s.ProbeAcks))
+	emit("reassembly_pending_bytes", telemetry.KindGauge, float64(s.PendingBytes))
+}
+
+// LinkCollector adapts a live Link: each scrape re-snapshots Stats, and
+// when the link is a GateLink, ImpairLink, or FragLink its layer stats
+// ride along under the same prefix.
+func LinkCollector(l Link) telemetry.Collector {
+	return telemetry.CollectorFunc(func(emit telemetry.Emit) {
+		l.Stats().CollectTelemetry(emit)
+		if g, ok := l.(*GateLink); ok {
+			g.GateStats().CollectTelemetry(emit)
+		}
+		if im, ok := l.(*ImpairLink); ok {
+			im.ImpairStats().CollectTelemetry(emit)
+		}
+		if f, ok := l.(*FragLink); ok {
+			f.FragStats().CollectTelemetry(emit)
+		}
+	})
+}
