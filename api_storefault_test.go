@@ -1,0 +1,122 @@
+package antireplay_test
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"antireplay"
+)
+
+// TestPublicFaultDomain drives the whole fault-domain story through the
+// public surface alone: schedule a disk fault, watch the lane quarantine
+// (health report, poison hook, sticky error), confirm the sibling lanes
+// keep committing, and repair the lane back to health.
+func TestPublicFaultDomain(t *testing.T) {
+	in := antireplay.NewFaultInjector(nil)
+	var poisoned []int
+	lanes, err := antireplay.NewLanes(filepath.Join(t.TempDir(), "lanes"),
+		antireplay.LanesCount(4),
+		antireplay.LanesWithoutSync(),
+		antireplay.LanesWithFS(in),
+		antireplay.LanesOnPoison(func(lane int, err error) { poisoned = append(poisoned, lane) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lanes.Close()
+
+	// Probe one key per lane so the assertions below are lane-exact.
+	keys := make([]string, 4)
+	journals := lanes.LaneJournals()
+	for i, sfx := 0, 0; i < 4; sfx++ {
+		k := antireplay.OutboundKey(uint32(sfx))
+		for li, j := range journals {
+			if lanes.Lane(k) == j && keys[li] == "" {
+				keys[li] = k
+				i++
+			}
+		}
+	}
+	for _, k := range keys {
+		if err := lanes.Cell(k).Save(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Lane 2's disk dies mid-write.
+	in.Arm(antireplay.Fault{Op: antireplay.FaultWrite, Path: "lane-002", Err: syscall.EIO})
+	if err := lanes.Cell(keys[2]).Save(6); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("save into dead lane = %v, want EIO", err)
+	}
+	// fsyncgate: the original error is sticky; no later save may succeed.
+	if err := lanes.Cell(keys[2]).Save(7); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second save into dead lane = %v, want the original EIO", err)
+	}
+	if q := lanes.Quarantined(); len(q) != 1 || q[0] != 2 {
+		t.Fatalf("Quarantined() = %v, want [2]", q)
+	}
+	for _, st := range lanes.LaneHealth() {
+		if (st.Err != nil) != (st.Lane == 2) {
+			t.Fatalf("LaneHealth lane %d: err = %v", st.Lane, st.Err)
+		}
+	}
+	if len(poisoned) != 1 || poisoned[0] != 2 {
+		t.Fatalf("poison hook fired for lanes %v, want [2]", poisoned)
+	}
+	// Blast radius is one lane: the siblings still commit.
+	for li, k := range keys {
+		if li == 2 {
+			continue
+		}
+		if err := lanes.Cell(k).Save(6); err != nil {
+			t.Fatalf("healthy lane %d save: %v", li, err)
+		}
+	}
+
+	// Disk replaced; repair merges the donor max-wins and lifts quarantine.
+	in.Disarm()
+	if err := lanes.RepairLane(2, map[string]uint64{keys[2]: 9}); err != nil {
+		t.Fatalf("RepairLane: %v", err)
+	}
+	if q := lanes.Quarantined(); len(q) != 0 {
+		t.Fatalf("Quarantined() after repair = %v, want none", q)
+	}
+	if err := lanes.Cell(keys[2]).Save(10); err != nil {
+		t.Fatalf("save into repaired lane: %v", err)
+	}
+	if got := lanes.Values()[keys[2]]; got != 10 {
+		t.Fatalf("repaired lane value = %d, want 10", got)
+	}
+}
+
+// TestPublicSaveRetryPolicy pins the SaverPool retry surface: transient
+// store failures are retried within the policy, exhaustion is reported as
+// ErrSaveRetriesExhausted wrapping the cause.
+func TestPublicSaveRetryPolicy(t *testing.T) {
+	pool := antireplay.NewSaverPool(1)
+	defer pool.Close()
+	pool.SetRetry(antireplay.SaveRetry{Attempts: 3, Base: 0, Max: 0})
+	if d := antireplay.DefaultSaveRetry(); d.Attempts < 2 {
+		t.Fatalf("DefaultSaveRetry attempts = %d, want >= 2", d.Attempts)
+	}
+
+	st := antireplay.NewFaultyStore(&antireplay.MemStore{})
+	st.FailSaves(2) // absorbed: two failures fit a 3-attempt budget
+	done := make(chan error, 1)
+	pool.Saver(st).StartSave(11, func(err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatalf("transient failure not absorbed: %v", err)
+	}
+
+	st.FailSaves(100) // exhausted: every attempt fails
+	pool.Saver(st).StartSave(12, func(err error) { done <- err })
+	err := <-done
+	if !errors.Is(err, antireplay.ErrSaveRetriesExhausted) {
+		t.Fatalf("exhaustion error = %v, want ErrSaveRetriesExhausted", err)
+	}
+	if !errors.Is(err, antireplay.ErrInjected) {
+		t.Fatalf("exhaustion error %v does not preserve the cause", err)
+	}
+}

@@ -190,6 +190,7 @@ func main() {
 		sasN     = flag.Int("sas", 1, "total inbound SAs on the cluster node in failover mode (extras spread across lanes and wake on every takeover)")
 		trans    = flag.String("transport", "mem", "gateway-mode wire transport: mem (in-process) or udp (real UDP-encapsulated loopback sockets)")
 		campaign = flag.String("campaign", "", "run one stealth-DoS campaign (baseline + hardened rows) and exit: window_edge, save_storm, rekey_cutover, or blackout_flood")
+		diskflt  = flag.String("diskfault", "", "run one disk-chaos campaign and exit: fsync_storm, enospc_compact, or single_lane_eio")
 		metrics  = flag.String("metrics", "", "serve /metrics, /healthz, /saz, /events, and pprof on this address in the gateway modes (e.g. :9100; :0 picks a free port)")
 	)
 	flag.Parse()
@@ -205,6 +206,27 @@ func main() {
 			}
 		})
 		tbl, err := experiments.CampaignsOnly(ccfg, *campaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *diskflt != "" {
+		dcfg := experiments.DefaultDiskfaultConfig()
+		dcfg.Seed = *seed
+		// -msgs retargets the per-SA phase length only when given
+		// explicitly, as with -campaign.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "msgs" {
+				dcfg.Packets = int(*msgs)
+			}
+		})
+		tbl, err := experiments.DiskfaultOnly(dcfg, *diskflt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resetsim: %v\n", err)
 			os.Exit(1)
@@ -346,7 +368,8 @@ func runFailoverSim(seed int64, msgs, failEvery uint64, loss float64, k uint64, 
 	// on the same medium shape it crashed with.
 	openJ := func(name string) (store.Medium, error) {
 		if lanes > 1 {
-			return store.OpenLanes(filepath.Join(dir, name), store.LanesCount(lanes))
+			return store.OpenLanes(filepath.Join(dir, name), store.LanesCount(lanes),
+				store.LanesOnPoison(ipsec.LaneFaultRecorder(tele.events())))
 		}
 		return store.OpenJournal(filepath.Join(dir, name+".log"))
 	}
@@ -574,7 +597,8 @@ func runRekeySim(seed int64, msgs, rekeyEvery, resetAt uint64, loss float64, k u
 			err error
 		)
 		if lanes > 1 {
-			j, err = store.OpenLanes(filepath.Join(dir, name), store.LanesCount(lanes))
+			j, err = store.OpenLanes(filepath.Join(dir, name), store.LanesCount(lanes),
+				store.LanesOnPoison(ipsec.LaneFaultRecorder(tele.events())))
 		} else {
 			j, err = store.OpenJournal(filepath.Join(dir, name+".journal"))
 		}

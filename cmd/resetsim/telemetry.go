@@ -232,6 +232,14 @@ func (t *simTelemetry) health() telemetry.Health {
 			detail = fenced.Error() // deposed by a takeover
 		}
 		h.Check("journal_unfenced", fenced == nil, detail)
+		if q := g.Degraded(); len(q) > 0 {
+			// Quarantined lanes degrade (reduced capacity, still serving the
+			// healthy lanes) rather than fail the process: pulling the whole
+			// gateway for one lane would widen the blast radius on purpose.
+			h.Degrade("storage_lanes", fmt.Sprintf("lanes %v quarantined by I/O faults", q))
+		} else {
+			h.Check("storage_lanes", true, "")
+		}
 	}
 	if s := t.getStandby(); s != nil {
 		st := s.Stats()

@@ -520,6 +520,31 @@ func (s *Standby) LagValues() uint64 {
 	return lag
 }
 
+// RepairSourceLane re-seeds one quarantined lane of the PRIMARY's medium
+// from this standby's follower lane — the standby-assisted half of lane
+// repair. The donor is the follower lane's applied state which, thanks to
+// the sync-follower registration, covers every save the primary ever
+// acknowledged on that lane; Journal.Repair merges it max-wins with the
+// primary's own in-memory values (so nothing staged after the fault is lost
+// either) and rewrites the lane's log from scratch, clearing the
+// quarantine. The primary's stalled SAs then resume via its WakeAll.
+//
+// Repairing from a promoted standby is refused: after takeover the old
+// primary is fenced, and "repairing" it would revive a deposed writer.
+func (s *Standby) RepairSourceLane(lane int) error {
+	s.mu.Lock()
+	promoted := s.promoted
+	s.mu.Unlock()
+	if promoted {
+		return ErrPromoted
+	}
+	if lane < 0 || lane >= len(s.lanes) {
+		return fmt.Errorf("cluster: repair lane %d: standby has %d lanes", lane, len(s.lanes))
+	}
+	l := s.lanes[lane]
+	return l.src.Repair(l.dst.Values())
+}
+
 // Stop gracefully detaches the standby without promoting it: the sync-
 // follower registration is cleared (the primary degrades to local-only
 // durability), the stream stops, and the warm image is closed. A stopped

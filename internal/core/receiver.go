@@ -734,6 +734,13 @@ func (r *Receiver) Occupancy() int {
 // LastStored returns the last edge value handed to a SAVE (paper: lst).
 func (r *Receiver) LastStored() uint64 { return r.lst.Load() }
 
+// Committed returns the last edge value known durable — the floor under the
+// receiver's acceptance horizon. Unlike LastStored (optimistic: handed to a
+// save, not necessarily acknowledged) this only grows on completed SAVEs and
+// on the wake-up leap, so it is the regression witness disk-fault
+// experiments compare across reopen.
+func (r *Receiver) Committed() uint64 { return r.committed.Load() }
+
 // State returns the lifecycle state.
 func (r *Receiver) State() State {
 	r.mu.Lock()

@@ -367,6 +367,17 @@ func (x *Sender) Seq() uint64 {
 // LastStored returns the last value handed to a SAVE (paper: lst).
 func (x *Sender) LastStored() uint64 { return x.lst.Load() }
 
+// Committed returns the last value known durable — the floor under the
+// sender's horizon. Unlike LastStored (optimistic: handed to a save, not
+// necessarily acknowledged) this only grows on completed SAVEs and on the
+// wake-up leap, so it is the regression witness disk-fault experiments
+// compare across reopen.
+func (x *Sender) Committed() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.committed
+}
+
 // State returns the lifecycle state.
 func (x *Sender) State() State {
 	x.mu.Lock()

@@ -243,6 +243,14 @@ func All() []Runner {
 			}
 			return Campaigns(cfg)
 		}},
+		{ID: "diskfault", Paper: "extension: storage fault domains (lane quarantine, bounded degradation, standby lane repair)", Run: func(fast bool) (*Table, error) {
+			cfg := DefaultDiskfaultConfig()
+			if fast {
+				cfg.Packets = 30
+				cfg.Lanes = 16
+			}
+			return Diskfault(cfg)
+		}},
 	}
 }
 

@@ -470,7 +470,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "unbounded", "sizing", "convsender",
 		"convreceiver", "recovery", "prolonged", "doublereset", "leap",
 		"delivery", "overhead", "horizon", "gateway", "datapath", "rekey",
-		"failover", "hotpath", "scale", "transport", "campaigns"}
+		"failover", "hotpath", "scale", "transport", "campaigns", "diskfault"}
 	rs := All()
 	if len(rs) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(rs), len(want))

@@ -638,6 +638,25 @@ func (g *Gateway) SPD() *SPD { return g.spd }
 // Journal exposes the shared durable medium.
 func (g *Gateway) Journal() store.Medium { return g.cfg.Journal }
 
+// Degraded returns the quarantined commit-lane indices of the gateway's
+// medium — lanes whose journal an I/O failure poisoned — in lane order, or
+// nil while fully healthy. SAs hashed to a quarantined lane stall at their
+// durable horizon (outbound Seal returns core.ErrSaveLag, inbound traffic
+// beyond the horizon is discarded with core.VerdictHorizon) — the
+// paper-correct behaviour when SAVE cannot complete — while every other
+// lane's SAs run at full speed. After the lane is repaired
+// (store.Lanes.RepairLane or cluster.Standby.RepairSourceLane), WakeAll
+// resumes the stalled SAs through the usual FETCH + leap + SAVE.
+func (g *Gateway) Degraded() []int {
+	var out []int
+	for i, j := range g.cfg.Journal.LaneJournals() {
+		if j.Poisoned() != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // ResetAll crashes every SA's endpoint, as a machine reset would: all
 // volatile counters and windows are lost; the journal survives.
 func (g *Gateway) ResetAll() {

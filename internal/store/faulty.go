@@ -1,7 +1,9 @@
 package store
 
 import (
+	"fmt"
 	"sync"
+	"time"
 )
 
 // Faulty wraps a Store and injects failures for testing the protocol's
@@ -14,15 +16,25 @@ import (
 //     (e.g. no fsync) and deliberately violates the paper's persistent-
 //     memory assumption — used by ablation tests to show which guarantee
 //     breaks.
-//   - CorruptFetches(n): the next n Fetch calls return ErrCorrupt.
+//   - FailFetches(n): the next n Fetch calls return ErrInjected without
+//     reading (an I/O error on the read path).
+//   - CorruptFetches(n): the next n Fetch calls return an error matching
+//     both ErrCorrupt and ErrInjected — the record validated badly, and the
+//     damage was injected.
+//   - SetLatency(d): every Save and Fetch (faulted or not) takes at least d,
+//     modeling a slow medium rather than a broken one.
 //
-// Faulty is safe for concurrent use.
+// Faulty injects at the Store (single cell) level; the file-layer equivalent
+// for whole media is storefault.Injector, which shares the same ErrInjected
+// sentinel. Faulty is safe for concurrent use.
 type Faulty struct {
 	mu             sync.Mutex
 	inner          Store
 	failSaves      int
 	loseSaves      int
+	failFetches    int
 	corruptFetches int
+	latency        time.Duration
 	saves          uint64
 	lostSaves      uint64
 }
@@ -48,16 +60,41 @@ func (f *Faulty) LoseSaves(n int) {
 	f.loseSaves = n
 }
 
-// CorruptFetches arranges for the next n Fetch calls to return ErrCorrupt.
+// FailFetches arranges for the next n Fetch calls to return ErrInjected.
+func (f *Faulty) FailFetches(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failFetches = n
+}
+
+// CorruptFetches arranges for the next n Fetch calls to fail validation:
+// the returned error matches both ErrCorrupt and ErrInjected.
 func (f *Faulty) CorruptFetches(n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.corruptFetches = n
 }
 
+// SetLatency makes every subsequent Save and Fetch sleep for at least d
+// before proceeding; zero restores full speed.
+func (f *Faulty) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// errCorruptInjected matches both ErrCorrupt (what a validating reader
+// checks for) and ErrInjected (what a fault-assertion checks for).
+var errCorruptInjected = fmt.Errorf("%w: %w", ErrCorrupt, ErrInjected)
+
 // Save persists v unless a fault is armed.
 func (f *Faulty) Save(v uint64) error {
 	f.mu.Lock()
+	if d := f.latency; d > 0 {
+		f.mu.Unlock()
+		time.Sleep(d)
+		f.mu.Lock()
+	}
 	if f.failSaves > 0 {
 		f.failSaves--
 		f.mu.Unlock()
@@ -74,13 +111,23 @@ func (f *Faulty) Save(v uint64) error {
 	return f.inner.Save(v)
 }
 
-// Fetch reads the persisted value unless a corruption fault is armed.
+// Fetch reads the persisted value unless a read fault is armed.
 func (f *Faulty) Fetch() (uint64, bool, error) {
 	f.mu.Lock()
+	if d := f.latency; d > 0 {
+		f.mu.Unlock()
+		time.Sleep(d)
+		f.mu.Lock()
+	}
+	if f.failFetches > 0 {
+		f.failFetches--
+		f.mu.Unlock()
+		return 0, false, ErrInjected
+	}
 	if f.corruptFetches > 0 {
 		f.corruptFetches--
 		f.mu.Unlock()
-		return 0, false, ErrInjected
+		return 0, false, errCorruptInjected
 	}
 	f.mu.Unlock()
 	return f.inner.Fetch()

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"antireplay/internal/storefault"
 )
 
 // File record layout (big endian):
@@ -32,6 +34,7 @@ const (
 type File struct {
 	mu    sync.Mutex
 	path  string
+	fs    storefault.FS
 	sync  bool
 	syncs uint64
 }
@@ -48,10 +51,20 @@ func WithoutSync() FileOption {
 	return func(f *File) { f.sync = false }
 }
 
+// FileWithFS routes the store's filesystem operations through fsys; see
+// JournalWithFS. A nil fsys keeps the default passthrough.
+func FileWithFS(fsys storefault.FS) FileOption {
+	return func(f *File) {
+		if fsys != nil {
+			f.fs = fsys
+		}
+	}
+}
+
 // NewFile returns a file-backed store at path. The file need not exist;
 // Fetch on a missing file reports ok=false.
 func NewFile(path string, opts ...FileOption) *File {
-	f := &File{path: path, sync: true}
+	f := &File{path: path, fs: storefault.OS(), sync: true}
 	for _, o := range opts {
 		o(f)
 	}
@@ -73,7 +86,7 @@ func (f *File) Save(v uint64) error {
 	binary.BigEndian.PutUint32(rec[14:18], crc32.ChecksumIEEE(rec[:14]))
 
 	dir := filepath.Dir(f.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
+	tmp, err := f.fs.CreateTemp(dir, filepath.Base(f.path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: create temp: %w", err)
 	}
@@ -81,7 +94,7 @@ func (f *File) Save(v uint64) error {
 	// Clean the temp file up on any failure path.
 	fail := func(step string, cause error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		f.fs.Remove(tmpName)
 		return fmt.Errorf("store: %s: %w", step, cause)
 	}
 	if _, err := tmp.Write(rec); err != nil {
@@ -96,15 +109,15 @@ func (f *File) Save(v uint64) error {
 	if err := tmp.Close(); err != nil {
 		return fail("close temp", err)
 	}
-	if err := os.Rename(tmpName, f.path); err != nil {
-		os.Remove(tmpName)
+	if err := f.fs.Rename(tmpName, f.path); err != nil {
+		f.fs.Remove(tmpName)
 		return fmt.Errorf("store: rename: %w", err)
 	}
 	if f.sync {
 		// The rename is only on the platter once the directory is synced;
 		// without this a power loss can roll the path back to the old
 		// record — or to nothing — after Save already reported success.
-		if err := syncDir(dir); err != nil {
+		if err := syncDir(f.fs, dir); err != nil {
 			return err
 		}
 		f.syncs++
@@ -125,7 +138,7 @@ func (f *File) Fetch() (uint64, bool, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
-	rec, err := os.ReadFile(f.path)
+	rec, err := f.fs.ReadFile(f.path)
 	if os.IsNotExist(err) {
 		return 0, false, nil
 	}

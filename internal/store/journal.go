@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -10,9 +11,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"antireplay/internal/stats"
+	"antireplay/internal/storefault"
 )
 
 // Journal file layout (big endian):
@@ -105,7 +108,8 @@ type Journal struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	f *os.File
+	f  storefault.File
+	fs storefault.FS // filesystem all journal I/O goes through (storefault.OS default)
 	// vals holds generic string-keyed counters. With the compact-cell
 	// representation (JournalCompactCells) the fixed-width SA keys —
 	// "tx/xxxxxxxx" and "rx/xxxxxxxx" — live in pvals instead, packed into
@@ -120,9 +124,10 @@ type Journal struct {
 	pclaims  map[uint64]bool
 	logSize  int64
 	snapSize int64 // what a one-record-per-key snapshot would occupy
-	closed   bool
-	ioErr    error // sticky append-path write error
-	fenceErr error // sticky cluster fence; appends refused (see Fence)
+	closed      bool
+	ioErr       error // sticky append-path write error (poison; see poisonLocked)
+	poisonFired bool  // onPoison already notified for the current poison
+	fenceErr    error // sticky cluster fence; appends refused (see Fence)
 	recovery RecoveryStats
 
 	// Replication state (see tail.go). tail is a ring of the most recent
@@ -157,13 +162,16 @@ type Journal struct {
 	batchDelay     time.Duration
 	strictRecovery bool
 	compactCells   bool
-	lane           int    // lane index within a Lanes group; -1 standalone
-	ver            uint16 // on-disk format version; fixes the frame CRC kind
+	onPoison       func(error) // fired once per poisoning, mu held; see JournalOnPoison
+	lane           int         // lane index within a Lanes group; -1 standalone
+	ver            uint16      // on-disk format version; fixes the frame CRC kind
 
 	// Counters.
 	appends     uint64
 	syncs       uint64
 	compactions uint64
+	rescues     uint64 // ENOSPC write failures absorbed by an emergency compaction
+	repairs     uint64 // successful Repair calls clearing a poison
 }
 
 // tailRing is a ring buffer of recent TailRecords: pushes are O(1) and the
@@ -280,6 +288,29 @@ func JournalCompactCells() JournalOption {
 	return func(j *Journal) { j.compactCells = true }
 }
 
+// JournalWithFS routes every filesystem operation of the journal — recovery
+// reads, appends, fsyncs, compaction's temp/rename dance — through fsys
+// instead of the default passthrough (storefault.OS). This is where a fault
+// schedule (storefault.Injector) plugs in: the hot path pays one interface
+// dispatch per write/sync either way, so the zero-alloc gates hold with or
+// without an injector installed. A nil fsys keeps the default.
+func JournalWithFS(fsys storefault.FS) JournalOption {
+	return func(j *Journal) {
+		if fsys != nil {
+			j.fs = fsys
+		}
+	}
+}
+
+// JournalOnPoison registers a hook fired exactly once per poisoning: when a
+// commit failure (or a failed Close flush) marks the journal permanently
+// unusable, fn receives the sticky error. The hook runs with the journal
+// mutex held, so it must not call back into the journal — record an event,
+// bump a gauge, notify a quarantine manager. A successful Repair re-arms it.
+func JournalOnPoison(fn func(error)) JournalOption {
+	return func(j *Journal) { j.onPoison = fn }
+}
+
 // RecoveryStats reports what one OpenJournal replay found: how many
 // CRC-valid frames were applied, how many damaged regions were skipped
 // (each region is one or more frames whose original boundaries are
@@ -317,6 +348,7 @@ func (j *Journal) RecoveryStats() RecoveryStats {
 func OpenJournal(path string, opts ...JournalOption) (*Journal, error) {
 	j := &Journal{
 		path:      path,
+		fs:        storefault.OS(),
 		vals:      make(map[string]uint64),
 		sync:      true,
 		compactAt: DefaultCompactAt,
@@ -334,7 +366,23 @@ func OpenJournal(path string, opts ...JournalOption) (*Journal, error) {
 	if err := j.recover(); err != nil {
 		return nil, err
 	}
+	j.sweepStaleTemps()
 	return j, nil
+}
+
+// sweepStaleTemps removes compaction temp files a crash stranded next to the
+// log. Live temps are never visible here: compactLocked removes its temp on
+// every failure path, so anything matching the pattern at open time is a
+// leftover from a process that died mid-compaction — dead weight that would
+// otherwise accumulate one orphan per crash.
+func (j *Journal) sweepStaleTemps() {
+	stale, err := filepath.Glob(j.path + ".compact*")
+	if err != nil {
+		return
+	}
+	for _, p := range stale {
+		_ = j.fs.Remove(p)
+	}
 }
 
 // Packed SA keys. spiKeyLen-byte journal keys of the form "tx/xxxxxxxx" or
@@ -455,7 +503,7 @@ func (j *Journal) valsSnapshot() map[string]uint64 {
 
 // recover replays the log into j.vals and leaves j.f positioned for appends.
 func (j *Journal) recover() error {
-	data, err := os.ReadFile(j.path)
+	data, err := j.fs.ReadFile(j.path)
 	if os.IsNotExist(err) {
 		return j.create()
 	}
@@ -554,7 +602,7 @@ func (j *Journal) recover() error {
 	}
 	j.recovery.TornTail = off < len(data)
 
-	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o600)
+	f, err := j.fs.OpenFile(j.path, os.O_WRONLY, 0o600)
 	if err != nil {
 		return fmt.Errorf("store: journal open: %w", err)
 	}
@@ -584,7 +632,7 @@ func (j *Journal) recover() error {
 // create writes a fresh journal file (header only) and syncs it and its
 // directory so the journal itself survives a reset.
 func (j *Journal) create() error {
-	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	f, err := j.fs.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return fmt.Errorf("store: journal create: %w", err)
 	}
@@ -602,7 +650,7 @@ func (j *Journal) create() error {
 			return fmt.Errorf("store: journal sync header: %w", err)
 		}
 		j.syncs++
-		if err := syncDir(filepath.Dir(j.path)); err != nil {
+		if err := syncDir(j.fs, filepath.Dir(j.path)); err != nil {
 			f.Close()
 			return err
 		}
@@ -742,19 +790,112 @@ func (j *Journal) append(key string, v uint64, del bool) error {
 	return j.commitStagedLocked(mySeq)
 }
 
-// usableLocked reports why the journal cannot accept an append: closed,
-// fenced off by a cluster promotion, or poisoned by an earlier I/O error.
+// usableLocked reports why the journal cannot accept an append: poisoned by
+// an earlier I/O error, closed, or fenced off by a cluster promotion. Poison
+// outranks the other two — the original I/O failure is the actionable fact,
+// and a Close or fence that lands after the failure must not launder it into
+// a generic ErrClosed/ErrFenced.
 func (j *Journal) usableLocked() error {
 	switch {
+	case j.ioErr != nil:
+		return j.ioErr
 	case j.closed:
 		return ErrClosed
 	case j.fenceErr != nil:
 		return j.fenceErr
-	case j.ioErr != nil:
-		return j.ioErr
 	default:
 		return nil
 	}
+}
+
+// poisonLocked records a permanent I/O failure (mu held): the first call
+// sets the sticky error and fires the JournalOnPoison hook; later calls keep
+// the original error. Poison is the fsyncgate-correct answer to a failed
+// sync — the kernel may have marked the lost dirty pages clean, so retrying
+// the fsync could "succeed" over holes — and to a partial write, which
+// leaves a torn frame under anything appended after it. The journal refuses
+// everything until Repair rewrites the log from in-memory state.
+func (j *Journal) poisonLocked(err error) {
+	if j.ioErr == nil {
+		j.ioErr = err
+	}
+	if !j.poisonFired {
+		j.poisonFired = true
+		if j.onPoison != nil {
+			j.onPoison(j.ioErr)
+		}
+	}
+}
+
+// Poisoned returns the sticky I/O error that quarantined this journal, or
+// nil. Unlike Save it never reports closed/fenced states: only a real media
+// failure shows here, which is exactly what lane-health checks key off.
+func (j *Journal) Poisoned() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ioErr
+}
+
+// Rescues returns how many ENOSPC append failures were absorbed by an
+// emergency compaction instead of poisoning the journal.
+func (j *Journal) Rescues() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rescues
+}
+
+// Repairs returns how many successful Repair calls this handle has served.
+func (j *Journal) Repairs() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.repairs
+}
+
+// Repair clears a poisoned journal by rewriting the log from in-memory
+// state, optionally merged (max-wins) with donor values — typically a
+// replication follower's Values snapshot, which may carry records the failed
+// local commit lost. The rewrite reuses the compaction path: write a temp,
+// fsync, rename over the wedged log, fsync the directory, reopen — the old
+// inode, torn frames and unsynced pages included, is discarded wholesale. On
+// success the poison, the failed-batch record, and the fired hook are all
+// cleared, so the journal accepts appends again and a later failure re-fires
+// JournalOnPoison. Repairing a closed or fenced journal is refused;
+// repairing a healthy one is allowed (it is a forced compaction plus merge).
+//
+// Repair restores the medium, not the endpoints: SAs that saw the poison are
+// stalled at their durable horizon and resume via the gateway's WakeAll —
+// paying the usual reset sacrifice — once the lane is writable again.
+func (j *Journal) Repair(donor map[string]uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.syncing {
+		j.cond.Wait()
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	if j.fenceErr != nil {
+		return j.fenceErr
+	}
+	for key, v := range donor {
+		if cur, ok := j.getVal(key); !ok || v > cur {
+			j.putVal(key, v)
+		}
+	}
+	prev := j.ioErr
+	j.ioErr = nil
+	if err := j.compactLocked(); err != nil {
+		if j.ioErr == nil {
+			j.ioErr = prev
+		}
+		return err
+	}
+	j.failedSeq = 0
+	j.syncErr = nil
+	j.poisonFired = false
+	j.repairs++
+	j.cond.Broadcast()
+	return nil
 }
 
 // stageLocked stages one encoded record frame: the bookkeeping that must be
@@ -908,10 +1049,12 @@ func (j *Journal) commitBatchLocked() {
 	j.mu.Unlock()
 
 	var werr error
+	syncStep := false
 	if len(buf) > 0 {
 		_, werr = f.Write(buf)
 	}
 	if werr == nil && j.sync {
+		syncStep = true
 		werr = f.Sync()
 	}
 
@@ -922,22 +1065,37 @@ func (j *Journal) commitBatchLocked() {
 		if target > j.syncedSeq.Load() {
 			j.syncedSeq.Store(target)
 		}
-	} else {
-		syncErr := fmt.Errorf("store: journal commit: %w", werr)
-		if target > j.failedSeq {
-			j.failedSeq = target
-			j.syncErr = syncErr
-		}
-		// Poison the journal: a partial write leaves a torn frame under
-		// later appends, and after a failed fsync the kernel may mark the
-		// lost pages clean (fsync reports an error once), so a LATER fsync
-		// can succeed while this batch's records are holes — recovery would
-		// then truncate records we acknowledged after the failure. Force a
-		// reopen instead.
-		if j.ioErr == nil {
-			j.ioErr = syncErr
+		j.cond.Broadcast()
+		return
+	}
+	if !syncStep && errors.Is(werr, syscall.ENOSPC) && j.ioErr == nil && j.fenceErr == nil && !j.closed {
+		// A full disk at the WRITE step is the one failure worth a rescue:
+		// nothing was fsynced yet, the torn frame the partial write left is
+		// exactly what compaction's rename discards (the old inode goes away
+		// wholesale), and one record per key is the smallest this log can
+		// get. The snapshot is taken from j.vals, which already reflects the
+		// failed batch, so on success the batch is durable and the watermark
+		// covers it. If even the snapshot does not fit, compaction's own
+		// error poisons below. ENOSPC from the SYNC step never rescues:
+		// fsyncgate applies regardless of errno.
+		if cerr := j.compactLocked(); cerr == nil {
+			j.rescues++
+			j.cond.Broadcast()
+			return
 		}
 	}
+	syncErr := fmt.Errorf("store: journal commit: %w", werr)
+	if target > j.failedSeq {
+		j.failedSeq = target
+		j.syncErr = syncErr
+	}
+	// Poison the journal: a partial write leaves a torn frame under later
+	// appends, and after a failed fsync the kernel may mark the lost pages
+	// clean (fsync reports an error once), so a LATER fsync can succeed
+	// while this batch's records are holes — recovery would then truncate
+	// records we acknowledged after the failure. Force a reopen or a Repair
+	// instead.
+	j.poisonLocked(syncErr)
 	j.cond.Broadcast()
 }
 
@@ -952,14 +1110,14 @@ func (j *Journal) commitBatchLocked() {
 // as described inline.
 func (j *Journal) compactLocked() error {
 	dir := filepath.Dir(j.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".compact*")
+	tmp, err := j.fs.CreateTemp(dir, filepath.Base(j.path)+".compact*")
 	if err != nil {
 		return fmt.Errorf("store: journal compact temp: %w", err)
 	}
 	tmpName := tmp.Name()
 	fail := func(step string, cause error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		j.fs.Remove(tmpName)
 		return fmt.Errorf("store: journal compact %s: %w", step, cause)
 	}
 
@@ -985,8 +1143,8 @@ func (j *Journal) compactLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fail("close", err)
 	}
-	if err := os.Rename(tmpName, j.path); err != nil {
-		os.Remove(tmpName)
+	if err := j.fs.Rename(tmpName, j.path); err != nil {
+		j.fs.Remove(tmpName)
 		return fmt.Errorf("store: journal compact rename: %w", err)
 	}
 	// Past the rename the old log inode is unlinked: any failure before the
@@ -994,21 +1152,23 @@ func (j *Journal) compactLocked() error {
 	// land on the unlinked inode and report durability for writes a reboot
 	// cannot see.
 	if j.sync {
-		if err := syncDir(dir); err != nil {
-			j.ioErr = err
+		if err := syncDir(j.fs, dir); err != nil {
+			j.poisonLocked(err)
 			return err
 		}
 		j.syncs++
 	}
 
-	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o600)
+	f, err := j.fs.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
-		j.ioErr = fmt.Errorf("store: journal compact reopen: %w", err)
-		return j.ioErr
+		err = fmt.Errorf("store: journal compact reopen: %w", err)
+		j.poisonLocked(err)
+		return err
 	}
 	j.f.Close()
 	j.f = f
 	j.logSize = int64(len(buf))
+	j.snapSize = int64(len(buf)) // exact by construction: one record per key
 	j.compactions++
 	// The snapshot holds every value ever staged: all outstanding saves are
 	// now durable, and any still-staged frames are redundant with it.
@@ -1118,6 +1278,11 @@ func (c *Cell) Key() string { return c.key }
 // group-commit into that lane's fsyncs.
 func (c *Cell) Lane() int { return c.j.lane }
 
+// Poisoned reports the cell's lane poison state; see Journal.Poisoned.
+// SaverPool uses it to fail a save into a poisoned lane fast instead of
+// retrying a sync whose page-cache state is undefined.
+func (c *Cell) Poisoned() error { return c.j.Poisoned() }
+
 // Close waits for any in-flight group commit, flushes whatever is still
 // staged, syncs, and closes the log. Further saves and fetches return
 // ErrClosed.
@@ -1132,7 +1297,11 @@ func (j *Journal) Close() error {
 		j.cond.Wait()
 	}
 	var err error
-	if j.ioErr == nil && j.syncedSeq.Load() < j.appendSeq {
+	if j.ioErr != nil {
+		// A poisoned journal reports its original failure from Close too:
+		// the shutdown must not launder a durability loss into a clean exit.
+		err = j.ioErr
+	} else if j.syncedSeq.Load() < j.appendSeq {
 		// Final flush: drain the staging buffer and make it durable, so a
 		// clean Close never strands a staged record behind the watermark.
 		if len(j.stage) > 0 {
@@ -1157,7 +1326,7 @@ func (j *Journal) Close() error {
 				j.failedSeq = j.appendSeq
 				j.syncErr = err
 			}
-			j.ioErr = err
+			j.poisonLocked(err)
 		}
 	}
 	if cerr := j.f.Close(); err == nil && cerr != nil {
@@ -1207,23 +1376,13 @@ func (j *Journal) Compactions() uint64 {
 	return j.compactions
 }
 
-// syncDir fsyncs a directory, making a rename within it durable. On
-// Windows a directory handle cannot be flushed (and NTFS does not expose
-// the same rename-durability model), so it is a no-op there.
-func syncDir(dir string) error {
-	if runtime.GOOS == "windows" {
-		return nil
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: open dir: %w", err)
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
+// syncDir fsyncs a directory through fsys, making a completed rename within
+// it durable. The Windows no-op (directory handles cannot be flushed there)
+// lives in the FS implementation, so fault schedules can still target the
+// operation by op kind.
+func syncDir(fsys storefault.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("store: sync dir: %w", err)
-	}
-	if err := d.Close(); err != nil {
-		return fmt.Errorf("store: close dir: %w", err)
 	}
 	return nil
 }

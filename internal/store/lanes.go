@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"antireplay/internal/storefault"
 )
 
 // This file shards the journal into commit lanes. A Lanes value is N
@@ -108,6 +110,8 @@ type lanesConfig struct {
 	spread   []string
 	jopts    []JournalOption
 	withSync bool
+	fs       storefault.FS
+	onPoison func(lane int, err error)
 }
 
 // LanesOption configures OpenLanes.
@@ -152,6 +156,26 @@ func LanesStrictRecovery() LanesOption {
 	return func(c *lanesConfig) { c.jopts = append(c.jopts, JournalStrictRecovery()) }
 }
 
+// LanesWithFS routes every lane's filesystem operations (and the manifest's)
+// through fsys; see JournalWithFS. This is how a disk-fault campaign scopes
+// itself to one lane: arm an Injector whose Fault.Path matches that lane's
+// file name and every other lane runs untouched passthrough.
+func LanesWithFS(fsys storefault.FS) LanesOption {
+	return func(c *lanesConfig) {
+		if fsys != nil {
+			c.fs = fsys
+		}
+	}
+}
+
+// LanesOnPoison registers a hook fired once per lane poisoning with the lane
+// index and the sticky error. It runs with that lane's mutex held (see
+// JournalOnPoison); the other lanes are untouched — poisoning is exactly the
+// per-lane fault domain LaneHealth reports.
+func LanesOnPoison(fn func(lane int, err error)) LanesOption {
+	return func(c *lanesConfig) { c.onPoison = fn }
+}
+
 // LanesSpread places lane files round-robin across the given directories
 // instead of the manifest directory — lanes on different devices commit on
 // different fsync streams, so the medium's aggregate fsync bandwidth is
@@ -180,15 +204,15 @@ func (c *lanesConfig) lanePath(dir string, i int) string {
 // lane. Lanes always run with the compact cell representation
 // (JournalCompactCells): this is the medium built for million-SA scale.
 func OpenLanes(dir string, opts ...LanesOption) (*Lanes, error) {
-	cfg := &lanesConfig{count: DefaultLaneCount, withSync: true}
+	cfg := &lanesConfig{count: DefaultLaneCount, withSync: true, fs: storefault.OS()}
 	for _, o := range opts {
 		o(cfg)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: lanes dir: %w", err)
 	}
 	for _, d := range cfg.spread {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := cfg.fs.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: lanes spread dir: %w", err)
 		}
 	}
@@ -212,7 +236,10 @@ func OpenLanes(dir string, opts ...LanesOption) (*Lanes, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			opts := append([]JournalOption{JournalCompactCells()}, cfg.jopts...)
+			opts := append([]JournalOption{JournalCompactCells(), JournalWithFS(cfg.fs)}, cfg.jopts...)
+			if fn := cfg.onPoison; fn != nil {
+				opts = append(opts, JournalOnPoison(func(err error) { fn(i, err) }))
+			}
 			j, err := OpenJournal(cfg.lanePath(dir, i), opts...)
 			if err != nil {
 				errs[i] = fmt.Errorf("store: lane %d: %w", i, err)
@@ -242,7 +269,7 @@ func OpenLanes(dir string, opts ...LanesOption) (*Lanes, error) {
 // rather than a directory whose lane count is guesswork.
 func readOrWriteManifest(dir string, cfg *lanesConfig) (int, error) {
 	path := filepath.Join(dir, laneManifestName)
-	data, err := os.ReadFile(path)
+	data, err := cfg.fs.ReadFile(path)
 	switch {
 	case err == nil:
 		if len(data) != laneManifestLen || string(data[0:4]) != laneManifestMagic {
@@ -269,7 +296,7 @@ func readOrWriteManifest(dir string, cfg *lanesConfig) (int, error) {
 		buf = binary.BigEndian.AppendUint16(buf, laneManifestVer)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(count))
 		buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+		f, err := cfg.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
 		if err != nil {
 			return 0, fmt.Errorf("store: lane manifest create: %w", err)
 		}
@@ -287,7 +314,7 @@ func readOrWriteManifest(dir string, cfg *lanesConfig) (int, error) {
 			return 0, fmt.Errorf("store: lane manifest close: %w", err)
 		}
 		if cfg.withSync {
-			if err := syncDir(dir); err != nil {
+			if err := syncDir(cfg.fs, dir); err != nil {
 				return 0, err
 			}
 		}
@@ -420,6 +447,57 @@ func (l *Lanes) RecoveryStats() RecoveryStats {
 		rs.TornTail = rs.TornTail || s.TornTail
 	}
 	return rs
+}
+
+// LaneStatus is one lane's fault-domain state: its index and the sticky I/O
+// error that quarantined it (nil while healthy).
+type LaneStatus struct {
+	Lane int
+	Err  error
+}
+
+// LaneHealth reports every lane's fault-domain state, in lane order. A lane
+// with a non-nil Err is quarantined: its keys' saves return that original
+// error (never a retried "success"), while every other lane commits at full
+// speed — the blast radius of a disk fault is the lane, not the medium.
+func (l *Lanes) LaneHealth() []LaneStatus {
+	out := make([]LaneStatus, len(l.lanes))
+	for i, j := range l.lanes {
+		out[i] = LaneStatus{Lane: i, Err: j.Poisoned()}
+	}
+	return out
+}
+
+// Quarantined returns the indices of poisoned lanes, in lane order; empty
+// while the whole medium is healthy.
+func (l *Lanes) Quarantined() []int {
+	var out []int
+	for i, j := range l.lanes {
+		if j.Poisoned() != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RepairLane rewrites lane's log from in-memory state merged (max-wins) with
+// donor values, clearing its quarantine on success; see Journal.Repair.
+// Donor keys that do not route to lane are ignored, so a whole-medium Values
+// snapshot — a replication follower's, say — can be passed as-is.
+func (l *Lanes) RepairLane(lane int, donor map[string]uint64) error {
+	if lane < 0 || lane >= len(l.lanes) {
+		return fmt.Errorf("store: repair lane %d: medium has %d lanes", lane, len(l.lanes))
+	}
+	var scoped map[string]uint64
+	if len(donor) > 0 {
+		scoped = make(map[string]uint64)
+		for k, v := range donor {
+			if l.laneOf(k) == lane {
+				scoped[k] = v
+			}
+		}
+	}
+	return l.lanes[lane].Repair(scoped)
 }
 
 // Fence permanently rejects writes on every lane; see Journal.Fence. A

@@ -1,8 +1,12 @@
 package store
 
 import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"antireplay/internal/stats"
 )
@@ -31,6 +35,103 @@ type SaverPool struct {
 	// pool's coalescing win — saves absorbed into a later write.
 	requested stats.Counter
 	persisted stats.Counter
+	// retries counts additional Save attempts after a transient failure;
+	// giveUps counts batches whose whole retry budget failed — each one
+	// surfaced to the callbacks as ErrSaveRetriesExhausted, stalling that
+	// SA at its durable horizon until the medium recovers.
+	retries stats.Counter
+	giveUps stats.Counter
+
+	retryMu sync.Mutex
+	retry   SaveRetry
+}
+
+// SaveRetry bounds the pool's retry of transiently failing saves: a batch's
+// Save is attempted up to Attempts times total, sleeping a jittered,
+// exponentially growing delay (starting at Base, capped at Max) between
+// attempts. Permanent failures — a closed or fenced store, or a poisoned
+// journal lane (which must never see a retried sync reported as success) —
+// are returned immediately, unwrapped. A retry budget that runs out returns
+// the last error wrapped in ErrSaveRetriesExhausted.
+type SaveRetry struct {
+	Attempts int           // total Save attempts per batch; < 1 clamps to 1
+	Base     time.Duration // first inter-attempt delay
+	Max      time.Duration // delay cap; 0 means uncapped
+}
+
+// DefaultSaveRetry is the retry policy a new pool starts with: a couple of
+// quick retries absorb blips (a transient EINTR-class error, a store
+// mid-reopen) without materially delaying the worker, while anything
+// longer-lived fails fast enough that the SA's horizon stall — the paper's
+// bounded-degradation answer — takes over.
+func DefaultSaveRetry() SaveRetry {
+	return SaveRetry{Attempts: 3, Base: 200 * time.Microsecond, Max: 5 * time.Millisecond}
+}
+
+// SetRetry replaces the pool's retry policy; it may be called at any time
+// and applies to batches drained after the call.
+func (p *SaverPool) SetRetry(r SaveRetry) {
+	if r.Attempts < 1 {
+		r.Attempts = 1
+	}
+	p.retryMu.Lock()
+	p.retry = r
+	p.retryMu.Unlock()
+}
+
+// retryPolicy snapshots the current policy.
+func (p *SaverPool) retryPolicy() SaveRetry {
+	p.retryMu.Lock()
+	defer p.retryMu.Unlock()
+	return p.retry
+}
+
+// poisoner is implemented by stores backed by a journal lane that can be
+// poisoned by an I/O failure; see Journal.Poisoned.
+type poisoner interface{ Poisoned() error }
+
+// permanentSaveErr reports whether err from st cannot be cured by retrying:
+// retrying a closed/fenced store is pointless, and retrying into a poisoned
+// lane is forbidden outright — after a failed fsync the medium's page-cache
+// state is undefined, so a retried sync could "succeed" over holes.
+func permanentSaveErr(st Store, err error) bool {
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrFenced) {
+		return true
+	}
+	if pz, ok := st.(poisoner); ok && pz.Poisoned() != nil {
+		return true
+	}
+	return false
+}
+
+// saveWithRetry persists v into st under the pool's retry policy.
+func (p *SaverPool) saveWithRetry(st Store, v uint64) error {
+	r := p.retryPolicy()
+	err := st.Save(v)
+	if err == nil || permanentSaveErr(st, err) {
+		return err
+	}
+	delay := r.Base
+	for attempt := 1; attempt < r.Attempts; attempt++ {
+		p.retries.Add(1)
+		if delay > 0 {
+			// Full jitter around the nominal delay so a burst of failing
+			// handles does not re-converge on the medium in lockstep.
+			time.Sleep(delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1)))
+		}
+		delay *= 2
+		if r.Max > 0 && delay > r.Max {
+			delay = r.Max
+		}
+		if err = st.Save(v); err == nil || permanentSaveErr(st, err) {
+			return err
+		}
+	}
+	if r.Attempts > 1 {
+		p.giveUps.Add(1)
+		return fmt.Errorf("%w (%d attempts): %w", ErrSaveRetriesExhausted, r.Attempts, err)
+	}
+	return err
 }
 
 // poolShard is one worker's private queue.
@@ -54,7 +155,7 @@ func NewSaverPool(workers int) *SaverPool {
 	if workers <= 0 {
 		workers = DefaultPoolWorkers
 	}
-	p := &SaverPool{shards: make([]poolShard, workers)}
+	p := &SaverPool{shards: make([]poolShard, workers), retry: DefaultSaveRetry()}
 	p.wg.Add(workers)
 	for i := range p.shards {
 		sh := &p.shards[i]
@@ -89,6 +190,13 @@ func (p *SaverPool) SavesRequested() uint64 { return p.requested.Value() }
 // SavesPersisted returns how many coalesced writes reached the stores.
 // SavesRequested minus SavesPersisted is the coalescing win.
 func (p *SaverPool) SavesPersisted() uint64 { return p.persisted.Value() }
+
+// SaveRetries returns how many extra Save attempts transient failures cost.
+func (p *SaverPool) SaveRetries() uint64 { return p.retries.Value() }
+
+// SaveGiveUps returns how many batches exhausted their whole retry budget
+// (each surfaced as ErrSaveRetriesExhausted).
+func (p *SaverPool) SaveGiveUps() uint64 { return p.giveUps.Value() }
 
 // QueueDepth returns how many handles currently have pending work across
 // all shards — the backlog a scrape watches for saver-pool saturation.
@@ -189,10 +297,25 @@ func (s *PoolSaver) drain() {
 		s.pending = nil
 		s.mu.Unlock()
 
-		if s.p != nil {
-			s.p.persisted.Add(1)
+		if s.p == nil {
+			saveBatch(s.st, batch)
+			continue
 		}
-		saveBatch(s.st, batch)
+		s.p.persisted.Add(1)
+		// Same coalescing as saveBatch — persist only the maximum — but the
+		// write goes through the pool's bounded retry.
+		maxV := batch[0].v
+		for _, ps := range batch[1:] {
+			if ps.v > maxV {
+				maxV = ps.v
+			}
+		}
+		err := s.p.saveWithRetry(s.st, maxV)
+		for _, ps := range batch {
+			if ps.done != nil {
+				ps.done(err)
+			}
+		}
 	}
 }
 

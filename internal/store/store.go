@@ -17,6 +17,8 @@ package store
 import (
 	"errors"
 	"sync"
+
+	"antireplay/internal/storefault"
 )
 
 // Sentinel errors returned by stores and wrappers.
@@ -25,8 +27,17 @@ var (
 	ErrCorrupt = errors.New("store: corrupt record")
 	// ErrClosed reports use of a closed saver.
 	ErrClosed = errors.New("store: closed")
-	// ErrInjected is the default error produced by fault injection.
-	ErrInjected = errors.New("store: injected fault")
+	// ErrInjected is the default error produced by fault injection. It is
+	// the same value as storefault.ErrInjected, so the toy single-cell
+	// Faulty wrapper and the file-layer fault schedules
+	// (storefault.Injector) share one injection vocabulary: a test can
+	// errors.Is against either name whichever layer injected the failure.
+	ErrInjected = storefault.ErrInjected
+	// ErrSaveRetriesExhausted reports that the saver pool's bounded retry
+	// budget ran out without a successful save; the last underlying error is
+	// wrapped alongside it. The affected SA stalls at its durable horizon
+	// (core.ErrSaveLag) until saves succeed again.
+	ErrSaveRetriesExhausted = errors.New("store: save retries exhausted")
 	// ErrBadKey reports an empty or over-long journal key.
 	ErrBadKey = errors.New("store: bad journal key")
 	// ErrCellClaimed reports a ClaimCell on a journal key another owner in

@@ -42,25 +42,49 @@ func mediumTelemetry(m Medium, emit telemetry.Emit, labels ...telemetry.Label) {
 	emit("fenced", telemetry.KindGauge, fenced, labels...)
 }
 
+// faultTelemetry is the fault-domain family set every journal reports:
+// whether it is poisoned, and the rescue/repair counters around that state.
+func faultTelemetry(j *Journal, emit telemetry.Emit, labels ...telemetry.Label) {
+	poisoned := 0.0
+	if j.Poisoned() != nil {
+		poisoned = 1
+	}
+	emit("poisoned", telemetry.KindGauge, poisoned, labels...)
+	emit("enospc_rescues_total", telemetry.KindCounter, float64(j.Rescues()), labels...)
+	emit("repairs_total", telemetry.KindCounter, float64(j.Repairs()), labels...)
+}
+
 // CollectTelemetry emits the journal's live commit-pipeline counters,
-// footprint, fence state, and recovery stats. Scrape-time only: each
-// sample takes the journal's mutex once.
+// footprint, fence state, fault-domain state, and recovery stats.
+// Scrape-time only: each sample takes the journal's mutex once.
 func (j *Journal) CollectTelemetry(emit telemetry.Emit) {
 	mediumTelemetry(j, emit)
+	faultTelemetry(j, emit)
 	j.RecoveryStats().CollectTelemetry(emit)
 }
 
 // CollectTelemetry emits the laned medium's aggregate families plus the
-// per-lane commit counters under a lane label — the per-lane view is what
-// shows one hot lane saturating while the aggregate looks healthy.
+// per-lane commit counters and quarantine flags under a lane label — the
+// per-lane view is what shows one hot lane saturating, or one quarantined
+// lane, while the aggregate looks healthy.
 func (l *Lanes) CollectTelemetry(emit telemetry.Emit) {
 	mediumTelemetry(l, emit)
 	l.RecoveryStats().CollectTelemetry(emit)
+	quarantined := 0
 	for i, lane := range l.LaneJournals() {
 		label := telemetry.Label{Key: "lane", Value: strconv.Itoa(i)}
 		emit("lane_appends_total", telemetry.KindCounter, float64(lane.Appends()), label)
 		emit("lane_syncs_total", telemetry.KindCounter, float64(lane.Syncs()), label)
+		health := 0.0
+		if lane.Poisoned() != nil {
+			health = 1
+			quarantined++
+		}
+		emit("lane_quarantined", telemetry.KindGauge, health, label)
+		emit("lane_enospc_rescues_total", telemetry.KindCounter, float64(lane.Rescues()), label)
+		emit("lane_repairs_total", telemetry.KindCounter, float64(lane.Repairs()), label)
 	}
+	emit("lanes_quarantined", telemetry.KindGauge, float64(quarantined))
 }
 
 // MediumCollector adapts any Medium (journal or lanes) for registration.
@@ -82,4 +106,6 @@ func (p *SaverPool) CollectTelemetry(emit telemetry.Emit) {
 	emit("queue_depth", telemetry.KindGauge, float64(p.QueueDepth()))
 	emit("saves_requested_total", telemetry.KindCounter, float64(p.SavesRequested()))
 	emit("saves_persisted_total", telemetry.KindCounter, float64(p.SavesPersisted()))
+	emit("save_retries_total", telemetry.KindCounter, float64(p.SaveRetries()))
+	emit("save_give_ups_total", telemetry.KindCounter, float64(p.SaveGiveUps()))
 }

@@ -1,0 +1,266 @@
+package storefault
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op names one class of filesystem operation a Fault can target.
+type Op int
+
+const (
+	// OpWrite targets File.Write — fail it outright (Err) or tear it
+	// short (Short bytes land, the rest do not: the torn-tail shape a
+	// crash mid-write leaves).
+	OpWrite Op = iota
+	// OpSync targets File.Sync — the fsyncgate fault: the kernel may have
+	// marked the dirty pages clean, so the caller must never retry the
+	// sync and report success.
+	OpSync
+	// OpOpen targets FS.OpenFile.
+	OpOpen
+	// OpCreate targets FS.CreateTemp.
+	OpCreate
+	// OpRead targets FS.ReadFile.
+	OpRead
+	// OpRename targets FS.Rename.
+	OpRename
+	// OpRemove targets FS.Remove.
+	OpRemove
+	// OpSyncDir targets FS.SyncDir.
+	OpSyncDir
+)
+
+var opNames = [...]string{"write", "sync", "open", "create", "read", "rename", "remove", "syncdir"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Fault is one scheduled fault: the Count operations of kind Op whose path
+// contains Path (empty matches everything), after skipping the first After
+// matching operations, fail with Err. A matching operation is counted per
+// rule, so "the 7th sync of lane-003.log fails" is
+// {Op: OpSync, Path: "lane-003", After: 6, Count: 1}.
+type Fault struct {
+	// Op selects the operation class.
+	Op Op
+	// Path is a substring match against the operation's path (a file's
+	// Name for Write/Sync). Empty matches every path.
+	Path string
+	// After skips the first After matching operations before firing.
+	After int
+	// Count is how many matching operations fail once armed; 0 or
+	// negative means every one, forever (a dead disk, not a glitch).
+	Count int
+	// Err is the injected error; nil means ErrInjected.
+	Err error
+	// Short, for OpWrite only, makes the failure a torn write: Short
+	// bytes of the buffer reach the file before the error. Zero tears
+	// nothing (the write fails with no bytes landed).
+	Short int
+}
+
+// Injector is an FS that applies a fault schedule in front of a base FS.
+// Operations that no armed fault matches pass straight through. Safe for
+// concurrent use; fault matching is serialized so "the Nth op" is exact
+// even under concurrent lanes.
+type Injector struct {
+	base FS
+
+	mu     sync.Mutex
+	faults []*armedFault
+}
+
+// armedFault tracks one Fault's live counters.
+type armedFault struct {
+	Fault
+	seen  int // matching operations observed
+	fired int // failures injected
+}
+
+// NewInjector wraps base (nil means OS()) with an empty schedule.
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS()
+	}
+	return &Injector{base: base}
+}
+
+// Arm appends faults to the schedule. Faults are matched in Arm order;
+// the first armed fault that matches an operation decides it.
+func (in *Injector) Arm(faults ...Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range faults {
+		if f.Err == nil {
+			f.Err = ErrInjected
+		}
+		af := f // copy
+		in.faults = append(in.faults, &armedFault{Fault: af})
+	}
+}
+
+// Disarm clears the whole schedule; fired counts are kept readable
+// through the stats Fired returned before the call.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// Fired returns the total number of failures injected so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, f := range in.faults {
+		n += f.fired
+	}
+	return n
+}
+
+// match decides whether an operation fails, advancing the schedule's
+// counters. It returns the fault to apply, or nil.
+func (in *Injector) match(op Op, path string) *Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, f := range in.faults {
+		if f.Op != op {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(path, f.Path) {
+			continue
+		}
+		f.seen++
+		if f.seen <= f.After {
+			return nil // armed but not yet due; first match wins regardless
+		}
+		if f.Count > 0 && f.fired >= f.Count {
+			continue // exhausted: later rules may still match
+		}
+		f.fired++
+		return &f.Fault
+	}
+	return nil
+}
+
+var _ FS = (*Injector)(nil)
+
+// OpenFile applies OpOpen faults, wrapping the opened file so its writes
+// and syncs stay under the schedule.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := in.match(OpOpen, name); f != nil {
+		return nil, f.Err
+	}
+	file, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, in: in}, nil
+}
+
+// CreateTemp applies OpCreate faults; the pattern (not the random final
+// name) is what Fault.Path matches, so a schedule can target "the compact
+// temp of lane 3" without knowing the suffix.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if f := in.match(OpCreate, pattern); f != nil {
+		return nil, f.Err
+	}
+	file, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, in: in, alias: pattern}, nil
+}
+
+// ReadFile applies OpRead faults.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if f := in.match(OpRead, name); f != nil {
+		return nil, f.Err
+	}
+	return in.base.ReadFile(name)
+}
+
+// Rename applies OpRename faults (matched against the destination path —
+// the log being replaced — then the source).
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.match(OpRename, newpath+" "+oldpath); f != nil {
+		return f.Err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// Remove applies OpRemove faults.
+func (in *Injector) Remove(name string) error {
+	if f := in.match(OpRemove, name); f != nil {
+		return f.Err
+	}
+	return in.base.Remove(name)
+}
+
+// MkdirAll passes through; directory creation is setup, not a fault
+// domain worth scheduling.
+func (in *Injector) MkdirAll(dir string, perm os.FileMode) error {
+	return in.base.MkdirAll(dir, perm)
+}
+
+// SyncDir applies OpSyncDir faults.
+func (in *Injector) SyncDir(dir string) error {
+	if f := in.match(OpSyncDir, dir); f != nil {
+		return f.Err
+	}
+	return in.base.SyncDir(dir)
+}
+
+// faultFile applies write/sync faults to one open file. The schedule
+// matches on the file's name (for CreateTemp files, on the creation
+// pattern too, so temp-file faults are addressable before the random
+// suffix is known).
+type faultFile struct {
+	File
+	in    *Injector
+	alias string // CreateTemp pattern, "" otherwise
+}
+
+// name is the string the schedule matches against.
+func (f *faultFile) name() string {
+	if f.alias != "" {
+		return f.Name() + " " + f.alias
+	}
+	return f.Name()
+}
+
+// Write applies OpWrite faults: a plain failure writes nothing; a Short
+// fault writes the prefix first — the torn tail a crash mid-write leaves
+// on the platter — then reports the error.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if ft := f.in.match(OpWrite, f.name()); ft != nil {
+		n := 0
+		if ft.Short > 0 {
+			short := ft.Short
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = f.File.Write(p[:short])
+		}
+		return n, ft.Err
+	}
+	return f.File.Write(p)
+}
+
+// Sync applies OpSync faults. The injected failure models fsyncgate: the
+// base file is NOT synced, and whether its dirty pages survive is exactly
+// as undefined as after a real failed fsync — the caller must poison, not
+// retry.
+func (f *faultFile) Sync() error {
+	if ft := f.in.match(OpSync, f.name()); ft != nil {
+		return ft.Err
+	}
+	return f.File.Sync()
+}

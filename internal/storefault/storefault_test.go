@@ -1,0 +1,159 @@
+package storefault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSPassthrough pins the passthrough: files round-trip bytes, syncs
+// succeed, renames land, and SyncDir works on a real directory.
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.log")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(path, filepath.Join(dir, "b.log")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(filepath.Join(dir, "b.log"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+}
+
+// TestInjectorSchedule pins the After/Count arithmetic: the fault skips
+// the first After matching ops, fires Count times, then passes through.
+func TestInjectorSchedule(t *testing.T) {
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpSync, Path: "a.log", After: 2, Count: 1})
+	dir := t.TempDir()
+	f, err := in.OpenFile(filepath.Join(dir, "a.log"), os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		err := f.Sync()
+		if i == 2 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("sync %d: got %v, want ErrInjected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if got := in.Fired(); got != 1 {
+		t.Fatalf("fired %d, want 1", got)
+	}
+}
+
+// TestInjectorShortWrite pins the torn-write shape: Short bytes land, the
+// error is reported, and the file holds exactly the prefix.
+func TestInjectorShortWrite(t *testing.T) {
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpWrite, Count: 1, Short: 3, Err: syscall.EIO})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.log")
+	f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.EIO) || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v, want 3, EIO", n, err)
+	}
+	if _, err := f.Write([]byte("rest")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "abcrest" {
+		t.Fatalf("file holds %q, want torn prefix + later write", data)
+	}
+}
+
+// TestInjectorPathAndOps pins path scoping (only the matching file fails)
+// and the non-file ops (rename, read, create-temp, syncdir).
+func TestInjectorPathAndOps(t *testing.T) {
+	in := NewInjector(nil)
+	in.Arm(
+		Fault{Op: OpRename, Path: "victim", Count: 1},
+		Fault{Op: OpRead, Path: "victim", Count: 1},
+		Fault{Op: OpCreate, Path: ".compact", Count: 1, Err: syscall.ENOSPC},
+		Fault{Op: OpSyncDir, Count: 1},
+	)
+	dir := t.TempDir()
+	if err := in.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "bystander")); err == nil || errors.Is(err, ErrInjected) {
+		// Non-matching rename passes through to the real fs (ENOENT here).
+		t.Fatalf("bystander rename: %v", err)
+	}
+	if err := in.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "victim")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("victim rename: %v, want ErrInjected", err)
+	}
+	if _, err := in.ReadFile(filepath.Join(dir, "victim")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("victim read: %v, want ErrInjected", err)
+	}
+	if _, err := in.CreateTemp(dir, "lane-000.log.compact*"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("compact temp: %v, want ENOSPC", err)
+	}
+	if err := in.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir: %v, want ErrInjected", err)
+	}
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir after exhaustion: %v", err)
+	}
+	if got := in.Fired(); got != 4 {
+		t.Fatalf("fired %d, want 4", got)
+	}
+}
+
+// TestInjectorTempAlias pins that a CreateTemp file's writes match both
+// its real (random-suffixed) name and the creation pattern.
+func TestInjectorTempAlias(t *testing.T) {
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpWrite, Path: ".compact", Count: 1, Err: syscall.ENOSPC})
+	f, err := in.CreateTemp(t.TempDir(), "lane.log.compact*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("temp write: %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("temp write after exhaustion: %v", err)
+	}
+}
+
+// TestInjectorDisarm pins that Disarm clears the schedule.
+func TestInjectorDisarm(t *testing.T) {
+	in := NewInjector(nil)
+	in.Arm(Fault{Op: OpSyncDir})
+	if err := in.SyncDir(t.TempDir()); !errors.Is(err, ErrInjected) {
+		t.Fatal("armed fault did not fire")
+	}
+	in.Disarm()
+	if err := in.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}

@@ -13,19 +13,25 @@ import (
 
 // Health is the /healthz report. OK gates the HTTP status: a healthy
 // process answers 200, anything else 503 — so a load balancer or a
-// cluster manager can act on the scrape without parsing it.
+// cluster manager can act on the scrape without parsing it. Degraded is the
+// middle state between them: the process is serving (HTTP 200 — taking it
+// out of rotation would only widen the outage) but some fault domain is
+// quarantined and capacity is reduced; the degraded checks carry the detail
+// (which lanes, what error).
 type Health struct {
-	OK     bool          `json:"ok"`
-	Checks []HealthCheck `json:"checks,omitempty"`
+	OK       bool          `json:"ok"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Checks   []HealthCheck `json:"checks,omitempty"`
 }
 
 // HealthCheck is one named liveness/consistency probe inside a Health
 // report: journal not fenced, replication lag under threshold, standby
-// alive, last ack fresh.
+// alive, last ack fresh, storage lanes unquarantined.
 type HealthCheck struct {
-	Name   string `json:"name"`
-	OK     bool   `json:"ok"`
-	Detail string `json:"detail,omitempty"`
+	Name     string `json:"name"`
+	OK       bool   `json:"ok"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Detail   string `json:"detail,omitempty"`
 }
 
 // Check appends a probe result and folds it into the overall verdict.
@@ -34,6 +40,15 @@ func (h *Health) Check(name string, ok bool, detail string) {
 	if !ok {
 		h.OK = false
 	}
+}
+
+// Degrade appends a degraded (serving, but with reduced capacity) probe
+// result: the check is marked not-OK-but-degraded and the report's Degraded
+// flag is raised, while the overall OK — and with it the 200 status — is
+// left alone.
+func (h *Health) Degrade(name, detail string) {
+	h.Checks = append(h.Checks, HealthCheck{Name: name, OK: false, Degraded: true, Detail: detail})
+	h.Degraded = true
 }
 
 // SAInfo is one security association's row in the /saz snapshot: the
